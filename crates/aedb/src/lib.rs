@@ -1,0 +1,29 @@
+//! # aedb — the Adaptive Enhanced Distance-Based broadcasting protocol and
+//! its multi-objective tuning problem
+//!
+//! Implements §III of *"A Parallel Multi-objective Local Search for AEDB
+//! Protocol Tuning"*:
+//!
+//! * [`params`] — the five tunable protocol parameters with the search
+//!   domains of Table III and the wider sensitivity-analysis domains of
+//!   §III-B,
+//! * [`protocol`] — the AEDB state machine of Fig. 1 implemented over the
+//!   [`manet`] simulator's [`Protocol`](manet::Protocol) trait (border
+//!   threshold test, random forwarding delay, density-adaptive
+//!   transmission-power estimation with the margin threshold),
+//! * [`scenario`] — the evaluation scenarios of Table II (three densities
+//!   on a 500 m × 500 m field, 10 fixed networks each),
+//! * [`problem`] — the optimisation problem `F(s)` of Eq. 1: minimise
+//!   energy, maximise coverage, minimise forwardings, subject to a 2 s
+//!   broadcast-time constraint, each averaged over the 10 networks.
+
+pub mod baselines;
+pub mod params;
+pub mod problem;
+pub mod protocol;
+pub mod scenario;
+
+pub use params::AedbParams;
+pub use problem::{AedbOutcome, AedbProblem};
+pub use protocol::Aedb;
+pub use scenario::{Density, Scenario};

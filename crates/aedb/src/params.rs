@@ -1,0 +1,175 @@
+//! The five AEDB parameters, their semantics (§III) and search domains.
+//!
+//! | parameter            | domain (Table III) | role                                    |
+//! |----------------------|--------------------|-----------------------------------------|
+//! | `min_delay`          | [0, 1] s           | lower edge of the forwarding delay      |
+//! | `max_delay`          | [0, 5] s           | upper edge of the forwarding delay      |
+//! | `border_threshold`   | [−95, −70] dBm     | received-power border of the forwarding area |
+//! | `margin_threshold`   | [0, 3] dBm         | mobility safety margin on estimated power |
+//! | `neighbors_threshold`| [0, 50] devices    | density switch for power reduction      |
+//!
+//! The sensitivity analysis (§III-B) explores deliberately wider ranges;
+//! [`AedbParams::sensitivity_bounds`] reproduces them.
+
+use mopt::Bounds;
+use serde::{Deserialize, Serialize};
+
+/// A complete AEDB configuration (one point of the search space).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AedbParams {
+    /// Lower edge of the random forwarding delay (s).
+    pub min_delay: f64,
+    /// Upper edge of the random forwarding delay (s).
+    pub max_delay: f64,
+    /// Received-power border of the forwarding area (dBm): a node whose
+    /// strongest copy of the message arrived *above* this threshold is too
+    /// close to the senders and drops the message.
+    pub border_threshold: f64,
+    /// Safety margin (dB) added to the estimated transmit power to absorb
+    /// node mobility between beacons.
+    pub margin_threshold: f64,
+    /// Minimum number of potential forwarders in the forwarding area
+    /// required before the node shrinks its range (discarding the farthest
+    /// one-hop neighbours to save energy).
+    pub neighbors_threshold: f64,
+}
+
+/// Number of decision variables.
+pub const N_PARAMS: usize = 5;
+
+impl AedbParams {
+    /// The optimisation domains of Table III.
+    pub fn bounds() -> Bounds {
+        Bounds::new(vec![
+            (0.0, 1.0),     // min delay (s)
+            (0.0, 5.0),     // max delay (s)
+            (-95.0, -70.0), // border threshold (dBm)
+            (0.0, 3.0),     // margin threshold (dBm)
+            (0.0, 50.0),    // neighbors threshold (devices)
+        ])
+    }
+
+    /// The wider domains used by the sensitivity analysis (§III-B):
+    /// `min_delay ∈ [0,5]`, `max_delay ∈ [0,5]`,
+    /// `border_threshold ∈ [−95, 0]` (the paper lists the magnitude range
+    /// `[0, 95]`), `margin_threshold ∈ [0, 16.2]`,
+    /// `neighbors_threshold ∈ [0, 100]`.
+    pub fn sensitivity_bounds() -> Bounds {
+        Bounds::new(vec![
+            (0.0, 5.0),
+            (0.0, 5.0),
+            (-95.0, 0.0),
+            (0.0, 16.2),
+            (0.0, 100.0),
+        ])
+    }
+
+    /// Parameter names in decision-vector order.
+    pub fn names() -> [&'static str; N_PARAMS] {
+        ["min_delay", "max_delay", "border_threshold", "margin_threshold", "neighbors_threshold"]
+    }
+
+    /// Builds a configuration from a decision vector
+    /// `[min_delay, max_delay, border, margin, neighbors]`.
+    pub fn from_vec(x: &[f64]) -> Self {
+        assert_eq!(x.len(), N_PARAMS, "AEDB decision vector must have 5 entries");
+        Self {
+            min_delay: x[0],
+            max_delay: x[1],
+            border_threshold: x[2],
+            margin_threshold: x[3],
+            neighbors_threshold: x[4],
+        }
+    }
+
+    /// The decision vector of this configuration.
+    pub fn to_vec(self) -> Vec<f64> {
+        vec![
+            self.min_delay,
+            self.max_delay,
+            self.border_threshold,
+            self.margin_threshold,
+            self.neighbors_threshold,
+        ]
+    }
+
+    /// The effective delay interval `[lo, hi]`: parameters are free during
+    /// the search, so `max_delay` may come out below `min_delay`; the
+    /// protocol draws from the ordered interval.
+    pub fn delay_interval(self) -> (f64, f64) {
+        if self.max_delay >= self.min_delay {
+            (self.min_delay, self.max_delay)
+        } else {
+            (self.max_delay, self.min_delay)
+        }
+    }
+
+    /// A reasonable hand-tuned default (mid-range delays, permissive
+    /// border) used by examples.
+    pub fn default_config() -> Self {
+        Self {
+            min_delay: 0.1,
+            max_delay: 0.8,
+            border_threshold: -88.0,
+            margin_threshold: 1.0,
+            neighbors_threshold: 12.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_vec() {
+        let p = AedbParams::default_config();
+        let v = p.to_vec();
+        assert_eq!(AedbParams::from_vec(&v), p);
+        assert_eq!(v.len(), N_PARAMS);
+    }
+
+    #[test]
+    fn bounds_match_table_iii() {
+        let b = AedbParams::bounds();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b.get(0), (0.0, 1.0));
+        assert_eq!(b.get(1), (0.0, 5.0));
+        assert_eq!(b.get(2), (-95.0, -70.0));
+        assert_eq!(b.get(3), (0.0, 3.0));
+        assert_eq!(b.get(4), (0.0, 50.0));
+    }
+
+    #[test]
+    fn sensitivity_bounds_are_wider() {
+        let b = AedbParams::bounds();
+        let s = AedbParams::sensitivity_bounds();
+        for i in 0..N_PARAMS {
+            let (lo, hi) = b.get(i);
+            let (slo, shi) = s.get(i);
+            assert!(slo <= lo && shi >= hi, "param {i}: [{slo},{shi}] vs [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn delay_interval_orders() {
+        let mut p = AedbParams::default_config();
+        p.min_delay = 0.9;
+        p.max_delay = 0.2;
+        assert_eq!(p.delay_interval(), (0.2, 0.9));
+        p.max_delay = 1.5;
+        assert_eq!(p.delay_interval(), (0.9, 1.5));
+    }
+
+    #[test]
+    fn default_config_in_bounds() {
+        let b = AedbParams::bounds();
+        assert!(b.contains(&AedbParams::default_config().to_vec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "5 entries")]
+    fn wrong_arity_panics() {
+        let _ = AedbParams::from_vec(&[1.0, 2.0]);
+    }
+}

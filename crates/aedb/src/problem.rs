@@ -1,0 +1,262 @@
+//! The AEDB tuning problem — Eq. 1 of the paper.
+//!
+//! ```text
+//! F(s) = [ min energy(s), max coverage(s), min forwardings(s) ]
+//!        subject to broadcast_time(s) < 2 s
+//! ```
+//!
+//! where every quantity is the average over 10 fixed simulated networks.
+//! Internally the objectives are stored in minimisation form:
+//! `[energy, −coverage, forwardings]`; the constraint becomes the
+//! violation `max(0, bt − 2)`.
+
+use crate::params::{AedbParams, N_PARAMS};
+use crate::protocol::Aedb;
+use crate::scenario::Scenario;
+use manet::sim::Simulator;
+use mopt::problem::{Evaluation, Problem};
+use mopt::solution::Bounds;
+use rayon::prelude::*;
+
+/// Broadcast-time constraint limit (s): "any solution that takes longer
+/// than 2 seconds is no longer valid".
+pub const BT_LIMIT: f64 = 2.0;
+
+/// The four raw observables of one configuration, averaged over the
+/// scenario's networks (the sensitivity analysis needs all four).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AedbOutcome {
+    /// Σ of forwarding transmit powers (dBm), averaged.
+    pub energy: f64,
+    /// Devices reached (count), averaged.
+    pub coverage: f64,
+    /// Forwarding transmissions (count), averaged.
+    pub forwardings: f64,
+    /// Dissemination duration (s), averaged.
+    pub broadcast_time: f64,
+}
+
+/// The tuning problem for one density scenario.
+///
+/// Evaluation simulates the candidate on every fixed network of the
+/// scenario (optionally in parallel via rayon — the inner loop of the
+/// paper, which dominates runtime) and averages the metrics.
+pub struct AedbProblem {
+    scenario: Scenario,
+    bounds: Bounds,
+    parallel: bool,
+}
+
+impl AedbProblem {
+    /// Paper-faithful problem: Table III bounds, 10 fixed networks,
+    /// sequential simulation (the algorithms parallelise above this).
+    pub fn paper(scenario: Scenario) -> Self {
+        Self { scenario, bounds: AedbParams::bounds(), parallel: false }
+    }
+
+    /// Enables rayon across the scenario's networks for callers that
+    /// evaluate one candidate at a time (sensitivity analysis, examples).
+    pub fn with_parallel_sims(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Replaces the search-space bounds (the sensitivity analysis uses the
+    /// wider §III-B domains).
+    pub fn with_bounds(mut self, bounds: Bounds) -> Self {
+        assert_eq!(bounds.len(), N_PARAMS);
+        self.bounds = bounds;
+        self
+    }
+
+    /// The scenario being optimised.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Simulates `params` on network `k` and returns its raw observables.
+    pub fn simulate_one(&self, params: AedbParams, k: usize) -> AedbOutcome {
+        let config = self.scenario.sim_config(k);
+        let n = config.n_nodes;
+        let report = Simulator::new(config, Aedb::new(n, params)).run();
+        AedbOutcome {
+            energy: report.broadcast.energy_dbm_sum,
+            coverage: report.broadcast.coverage() as f64,
+            forwardings: report.broadcast.forwardings as f64,
+            broadcast_time: report.broadcast.broadcast_time(),
+        }
+    }
+
+    /// Full evaluation: averages the observables over all networks.
+    pub fn evaluate_full(&self, params: AedbParams) -> AedbOutcome {
+        let n = self.scenario.n_networks;
+        let fold = |acc: AedbOutcome, o: AedbOutcome| AedbOutcome {
+            energy: acc.energy + o.energy,
+            coverage: acc.coverage + o.coverage,
+            forwardings: acc.forwardings + o.forwardings,
+            broadcast_time: acc.broadcast_time + o.broadcast_time,
+        };
+        let zero = AedbOutcome { energy: 0.0, coverage: 0.0, forwardings: 0.0, broadcast_time: 0.0 };
+        // Parallel path collects first and folds in index order so the
+        // floating-point sum is bit-identical to the sequential path.
+        let sum = if self.parallel {
+            (0..n)
+                .into_par_iter()
+                .map(|k| self.simulate_one(params, k))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .fold(zero, fold)
+        } else {
+            (0..n).map(|k| self.simulate_one(params, k)).fold(zero, fold)
+        };
+        let d = n as f64;
+        AedbOutcome {
+            energy: sum.energy / d,
+            coverage: sum.coverage / d,
+            forwardings: sum.forwardings / d,
+            broadcast_time: sum.broadcast_time / d,
+        }
+    }
+}
+
+impl Problem for AedbProblem {
+    fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    fn n_objectives(&self) -> usize {
+        3
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let params = AedbParams::from_vec(x);
+        let o = self.evaluate_full(params);
+        Evaluation::with_violation(
+            vec![o.energy, -o.coverage, o.forwardings],
+            (o.broadcast_time - BT_LIMIT).max(0.0),
+        )
+    }
+
+    fn objective_names(&self) -> Vec<String> {
+        vec!["energy_dbm".into(), "neg_coverage".into(), "forwardings".into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Density;
+
+    fn quick_problem() -> AedbProblem {
+        AedbProblem::paper(Scenario::quick(Density::D100, 2))
+    }
+
+    #[test]
+    fn evaluation_has_three_objectives_and_violation() {
+        let p = quick_problem();
+        let ev = p.evaluate(&AedbParams::default_config().to_vec());
+        assert_eq!(ev.objectives.len(), 3);
+        assert!(ev.objectives.iter().all(|v| v.is_finite()));
+        assert!(ev.violation >= 0.0);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let p = quick_problem();
+        let x = AedbParams::default_config().to_vec();
+        let a = p.evaluate(&x);
+        let b = p.evaluate(&x);
+        assert_eq!(a.objectives, b.objectives);
+        assert_eq!(a.violation, b.violation);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let x = AedbParams::default_config().to_vec();
+        let seq = AedbProblem::paper(Scenario::quick(Density::D100, 4)).evaluate(&x);
+        let par = AedbProblem::paper(Scenario::quick(Density::D100, 4))
+            .with_parallel_sims(true)
+            .evaluate(&x);
+        assert_eq!(seq.objectives, par.objectives);
+    }
+
+    #[test]
+    fn permissive_config_reaches_nodes() {
+        // A high border threshold (−70 dBm) gives a large forwarding area:
+        // only nodes receiving *above* it (closer than ~20 m to a sender)
+        // drop, so dissemination spreads.
+        let p = quick_problem();
+        let params = AedbParams {
+            min_delay: 0.0,
+            max_delay: 0.2,
+            border_threshold: -70.0,
+            margin_threshold: 1.0,
+            neighbors_threshold: 50.0,
+        };
+        let o = p.evaluate_full(params);
+        assert!(o.coverage > 5.0, "coverage = {}", o.coverage);
+        assert!(o.broadcast_time < BT_LIMIT);
+    }
+
+    #[test]
+    fn restrictive_border_suppresses_forwarding() {
+        // border −95 dBm: essentially every reception is stronger, so
+        // almost everyone drops — few forwardings, low energy.
+        let p = quick_problem();
+        let params = AedbParams {
+            min_delay: 0.0,
+            max_delay: 0.2,
+            border_threshold: -95.0,
+            margin_threshold: 1.0,
+            neighbors_threshold: 50.0,
+        };
+        let o = p.evaluate_full(params);
+        let permissive = AedbParams { border_threshold: -70.0, ..params };
+        let op = p.evaluate_full(permissive);
+        assert!(o.forwardings <= op.forwardings, "{} vs {}", o.forwardings, op.forwardings);
+        assert!(o.coverage <= op.coverage);
+    }
+
+    #[test]
+    fn long_delays_violate_bt_constraint_more_often() {
+        let p = quick_problem();
+        let slow = AedbParams {
+            min_delay: 1.0,
+            max_delay: 5.0,
+            border_threshold: -70.0,
+            margin_threshold: 1.0,
+            neighbors_threshold: 50.0,
+        };
+        let fast = AedbParams { min_delay: 0.0, max_delay: 0.1, ..slow };
+        let o_slow = p.evaluate_full(slow);
+        let o_fast = p.evaluate_full(fast);
+        assert!(o_slow.broadcast_time > o_fast.broadcast_time);
+    }
+
+    #[test]
+    fn coverage_maximisation_encoded_as_negation() {
+        let p = quick_problem();
+        let params = AedbParams::default_config();
+        let o = p.evaluate_full(params);
+        let ev = p.evaluate(&params.to_vec());
+        assert_eq!(ev.objectives[1], -o.coverage);
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+    use crate::scenario::Density;
+
+    #[test]
+    fn timing_probe() {
+        let p = AedbProblem::paper(Scenario::paper(Density::D300));
+        let t0 = std::time::Instant::now();
+        let _ = p.evaluate(&AedbParams::default_config().to_vec());
+        eprintln!("D300 full eval (10 nets, 75 nodes): {:?}", t0.elapsed());
+        let p = AedbProblem::paper(Scenario::paper(Density::D100));
+        let t0 = std::time::Instant::now();
+        let _ = p.evaluate(&AedbParams::default_config().to_vec());
+        eprintln!("D100 full eval (10 nets, 25 nodes): {:?}", t0.elapsed());
+    }
+}

@@ -1,0 +1,161 @@
+//! Evaluation scenarios — Table II of the paper.
+//!
+//! Three network densities (100, 200, 300 devices/km²) on a 500 m × 500 m
+//! field give 25, 50 and 75 devices respectively (the coverage axes of the
+//! paper's Figure 6 — up to 25/50/80 — confirm that reading). Each density
+//! is evaluated on **10 fixed networks**: the same 10 seeds for every
+//! candidate configuration.
+
+use manet::geometry::Field;
+use manet::mobility::MobilityModel;
+use manet::radio::RadioConfig;
+use manet::sim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// The three densities studied in the paper (devices per km²).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Density {
+    /// 100 devices/km² → 25 nodes on the 0.25 km² field.
+    D100,
+    /// 200 devices/km² → 50 nodes.
+    D200,
+    /// 300 devices/km² → 75 nodes.
+    D300,
+}
+
+impl Density {
+    /// All densities, sparsest first (the order of the paper's tables).
+    pub const ALL: [Density; 3] = [Density::D100, Density::D200, Density::D300];
+
+    /// Devices per square kilometre.
+    pub fn per_km2(self) -> u32 {
+        match self {
+            Density::D100 => 100,
+            Density::D200 => 200,
+            Density::D300 => 300,
+        }
+    }
+
+    /// Node count on the paper's 500 m × 500 m field.
+    pub fn n_nodes(self) -> usize {
+        (self.per_km2() as usize) / 4
+    }
+
+    /// Parses `100 | 200 | 300`.
+    pub fn from_per_km2(d: u32) -> Option<Self> {
+        match d {
+            100 => Some(Density::D100),
+            200 => Some(Density::D200),
+            300 => Some(Density::D300),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Density {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} dev/km²", self.per_km2())
+    }
+}
+
+/// A full evaluation scenario: density plus the fixed network seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Network density.
+    pub density: Density,
+    /// Number of fixed networks the fitness is averaged over (paper: 10).
+    pub n_networks: usize,
+    /// Base seed; network `k` uses seed `base_seed + k`.
+    pub base_seed: u64,
+}
+
+impl Scenario {
+    /// The paper's scenario for a density: 10 fixed networks.
+    pub fn paper(density: Density) -> Self {
+        Self { density, n_networks: 10, base_seed: 1000 * density.per_km2() as u64 }
+    }
+
+    /// A reduced scenario (fewer networks) for tests and quick runs.
+    pub fn quick(density: Density, n_networks: usize) -> Self {
+        Self { density, n_networks, base_seed: 1000 * density.per_km2() as u64 }
+    }
+
+    /// The seed of evaluation network `k` (`k < n_networks`).
+    pub fn network_seed(&self, k: usize) -> u64 {
+        debug_assert!(k < self.n_networks);
+        self.base_seed + k as u64
+    }
+
+    /// The simulator configuration of evaluation network `k` — Table II
+    /// verbatim: 500 m field, random walk at [0,2] m/s with 20 s direction
+    /// changes, 16.02 dBm default power, broadcast at 30 s, end at 40 s.
+    pub fn sim_config(&self, k: usize) -> SimConfig {
+        SimConfig {
+            field: Field::paper(),
+            n_nodes: self.density.n_nodes(),
+            speed_range: (0.0, 2.0),
+            mobility: MobilityModel::RandomWalk { change_interval: 20.0 },
+            radio: RadioConfig::paper(),
+            beacon_interval: 1.0,
+            neighbor_expiry: 2.5,
+            broadcast_time: 30.0,
+            end_time: 40.0,
+            source: 0,
+            seed: self.network_seed(k),
+            placement: manet::sim::Placement::UniformRandom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densities_map_to_node_counts() {
+        assert_eq!(Density::D100.n_nodes(), 25);
+        assert_eq!(Density::D200.n_nodes(), 50);
+        assert_eq!(Density::D300.n_nodes(), 75);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for d in Density::ALL {
+            assert_eq!(Density::from_per_km2(d.per_km2()), Some(d));
+        }
+        assert_eq!(Density::from_per_km2(42), None);
+    }
+
+    #[test]
+    fn paper_scenario_matches_table_ii() {
+        let s = Scenario::paper(Density::D200);
+        assert_eq!(s.n_networks, 10);
+        let c = s.sim_config(0);
+        assert_eq!(c.n_nodes, 50);
+        assert_eq!(c.field.width, 500.0);
+        assert_eq!(c.speed_range, (0.0, 2.0));
+        assert_eq!(c.radio.default_tx_dbm, 16.02);
+        assert_eq!(c.broadcast_time, 30.0);
+        assert_eq!(c.end_time, 40.0);
+        assert!(matches!(c.mobility, MobilityModel::RandomWalk { change_interval } if change_interval == 20.0));
+    }
+
+    #[test]
+    fn network_seeds_are_fixed_and_distinct() {
+        let s = Scenario::paper(Density::D100);
+        let seeds: Vec<u64> = (0..10).map(|k| s.network_seed(k)).collect();
+        let again: Vec<u64> = (0..10).map(|k| s.network_seed(k)).collect();
+        assert_eq!(seeds, again);
+        let mut dedup = seeds.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        // different densities use different networks
+        let s2 = Scenario::paper(Density::D300);
+        assert_ne!(s.network_seed(0), s2.network_seed(0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Density::D100.to_string(), "100 dev/km²");
+    }
+}

@@ -1,0 +1,67 @@
+//! Micro-benchmarks of the simulation substrate: one full network
+//! simulation per density (the paper's unit of fitness cost) and a single
+//! complete fitness evaluation (10 networks).
+
+use aedb::params::AedbParams;
+use aedb::problem::AedbProblem;
+use aedb::protocol::Aedb;
+use aedb::scenario::{Density, Scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manet::sim::Simulator;
+use mopt::problem::Problem;
+use std::hint::black_box;
+
+fn bench_single_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("single_simulation");
+    g.sample_size(20);
+    for density in Density::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(density.per_km2()),
+            &density,
+            |b, &density| {
+                let scenario = Scenario::paper(density);
+                let params = AedbParams::default_config();
+                b.iter(|| {
+                    let cfg = scenario.sim_config(0);
+                    let n = cfg.n_nodes;
+                    let report = Simulator::new(cfg, Aedb::new(n, black_box(params))).run();
+                    black_box(report.broadcast.coverage())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_full_evaluation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_evaluation_10_networks");
+    g.sample_size(10);
+    for density in Density::ALL {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(density.per_km2()),
+            &density,
+            |b, &density| {
+                let problem = AedbProblem::paper(Scenario::paper(density));
+                let x = AedbParams::default_config().to_vec();
+                b.iter(|| black_box(problem.evaluate(black_box(&x))));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_flooding_baseline(c: &mut Criterion) {
+    use manet::protocol::Flooding;
+    c.bench_function("flooding_simulation_d200", |b| {
+        let scenario = Scenario::paper(Density::D200);
+        b.iter(|| {
+            let cfg = scenario.sim_config(0);
+            let n = cfg.n_nodes;
+            let report = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1))).run();
+            black_box(report.broadcast.coverage())
+        });
+    });
+}
+
+criterion_group!(benches, bench_single_simulation, bench_full_evaluation, bench_flooding_baseline);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Ablation study of the AEDB-MLS design choices (acceptance rule,
+//! reinitialisation, archive strategy, search criteria).
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    bench_harness::experiments::exp_ablation(&ExperimentScale::from_args());
+}

@@ -1,0 +1,4 @@
+//! Prints Tables II and III of the paper from the code constants.
+fn main() {
+    bench_harness::experiments::exp_config();
+}

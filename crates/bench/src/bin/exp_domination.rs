@@ -1,0 +1,6 @@
+//! §VI: mutual domination counts between the AEDB-MLS and Reference fronts.
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_args();
+    bench_harness::experiments::exp_domination(&scale, None);
+}

@@ -1,0 +1,6 @@
+//! Figure 6: Pareto fronts of AEDB-MLS vs the Reference (merged MOEAs).
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let _ = bench_harness::experiments::exp_fronts(&scale);
+}

@@ -1,0 +1,5 @@
+//! §VII future work: the CellDE + AEDB-MLS hybrid, compared to both parents.
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    bench_harness::experiments::exp_hybrid(&ExperimentScale::from_args());
+}

@@ -1,0 +1,6 @@
+//! Table IV + Figure 7: indicator distributions and Wilcoxon comparisons.
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    let scale = ExperimentScale::from_args();
+    bench_harness::experiments::exp_metrics(&scale, None);
+}

@@ -1,0 +1,5 @@
+//! §V: the α / reset-condition configuration study of AEDB-MLS.
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    bench_harness::experiments::exp_param_study(&ExperimentScale::from_args());
+}

@@ -1,0 +1,5 @@
+//! Figure 2 + Table I: FAST99 sensitivity analysis of the AEDB objectives.
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    bench_harness::experiments::exp_sensitivity(&ExperimentScale::from_args());
+}

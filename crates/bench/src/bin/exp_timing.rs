@@ -1,0 +1,5 @@
+//! §VI: execution-time comparison and projected parallel speed-up.
+use bench_harness::scale::ExperimentScale;
+fn main() {
+    bench_harness::experiments::exp_timing(&ExperimentScale::from_args(), None);
+}

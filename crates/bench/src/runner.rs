@@ -1,0 +1,167 @@
+//! Runs the three algorithms under the paper's protocol (N independent
+//! seeded repetitions per density) at a configurable scale.
+
+use crate::scale::ExperimentScale;
+use aedb::problem::AedbProblem;
+use aedb::scenario::{Density, Scenario};
+use aedb_mls::mls::{CriteriaChoice, Mls, MlsConfig};
+use moea::cellde::{CellDe, CellDeConfig};
+use moea::nsga2::{Nsga2, Nsga2Config};
+use mopt::algorithm::{MoAlgorithm, RunResult};
+use mopt::problem::Problem;
+
+/// The three compared algorithms, in the paper's table order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// CellDE (Durillo et al. 2008).
+    CellDe,
+    /// NSGA-II (Deb et al. 2002).
+    Nsga2,
+    /// AEDB-MLS — the paper's contribution.
+    Mls,
+}
+
+impl AlgorithmKind {
+    /// All three, in Table IV's row/column order.
+    pub const ALL: [AlgorithmKind; 3] = [AlgorithmKind::CellDe, AlgorithmKind::Nsga2, AlgorithmKind::Mls];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmKind::CellDe => "CellDE",
+            AlgorithmKind::Nsga2 => "NSGAII",
+            AlgorithmKind::Mls => "AEDB-MLS",
+        }
+    }
+}
+
+/// Instantiates an algorithm scaled to the experiment budget.
+///
+/// * MOEAs receive `scale.evals` evaluations (paper: 10 000),
+/// * AEDB-MLS receives `scale.mls_evals()` = 2.4× that (paper: 24 000,
+///   §VI: "it performs 2.4 times more evaluations"), split over the
+///   paper's 8 × 12 thread topology at `--paper` scale and a 2 × 2
+///   topology otherwise.
+pub fn algorithms_for(scale: &ExperimentScale, kind: AlgorithmKind) -> Box<dyn MoAlgorithm> {
+    match kind {
+        AlgorithmKind::Nsga2 => {
+            let population = if scale.paper { 100 } else { (scale.evals / 10).clamp(8, 40) as usize };
+            Box::new(Nsga2::new(Nsga2Config {
+                population,
+                max_evaluations: scale.evals,
+                ..Nsga2Config::default()
+            }))
+        }
+        AlgorithmKind::CellDe => {
+            let side = if scale.paper { 10 } else { 5 };
+            Box::new(CellDe::new(CellDeConfig {
+                grid_side: side,
+                max_evaluations: scale.evals,
+                ..CellDeConfig::default()
+            }))
+        }
+        AlgorithmKind::Mls => {
+            let cfg = if scale.paper {
+                MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::paper() }
+            } else {
+                let per_thread = (scale.mls_evals() / 4).max(10);
+                MlsConfig {
+                    criteria: CriteriaChoice::Aedb,
+                    ..MlsConfig::quick(2, 2, per_thread)
+                }
+            };
+            Box::new(Mls::new(cfg))
+        }
+    }
+}
+
+/// Runs `scale.reps` seeded repetitions of `kind` on `problem`.
+pub fn run_algorithm(
+    scale: &ExperimentScale,
+    kind: AlgorithmKind,
+    problem: &dyn Problem,
+) -> Vec<RunResult> {
+    let alg = algorithms_for(scale, kind);
+    (0..scale.reps).map(|rep| alg.run(problem, 0xBEEF + 97 * rep as u64)).collect()
+}
+
+/// All repetitions of all algorithms for one density.
+pub struct DensityResults {
+    /// The density simulated.
+    pub density: Density,
+    /// Per algorithm: the repetition results.
+    pub runs: Vec<(AlgorithmKind, Vec<RunResult>)>,
+}
+
+impl DensityResults {
+    /// Runs the full per-density protocol.
+    pub fn collect(scale: &ExperimentScale, density: Density) -> Self {
+        let problem = AedbProblem::paper(Scenario::quick(density, scale.networks));
+        let runs = AlgorithmKind::ALL
+            .iter()
+            .map(|&kind| (kind, run_algorithm(scale, kind, &problem)))
+            .collect();
+        Self { density, runs }
+    }
+
+    /// The repetition results of one algorithm.
+    pub fn of(&self, kind: AlgorithmKind) -> &[RunResult] {
+        &self.runs.iter().find(|(k, _)| *k == kind).expect("algorithm missing").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopt::problem::test_problems::Zdt1;
+
+    fn tiny_scale() -> ExperimentScale {
+        ExperimentScale { reps: 2, networks: 2, evals: 60, ..ExperimentScale::default() }
+    }
+
+    #[test]
+    fn algorithms_scale_budgets() {
+        let scale = tiny_scale();
+        // 5 variables so the AEDB-specific search criteria are valid
+        for kind in AlgorithmKind::ALL {
+            let alg = algorithms_for(&scale, kind);
+            let r = alg.run(&Zdt1::new(5), 5);
+            let budget = if kind == AlgorithmKind::Mls { scale.mls_evals() } else { scale.evals };
+            assert!(
+                r.evaluations <= budget + 4,
+                "{}: {} evals vs budget {budget}",
+                kind.name(),
+                r.evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn mls_gets_2_4x_budget() {
+        let scale = tiny_scale();
+        let mls = algorithms_for(&scale, AlgorithmKind::Mls);
+        let r = mls.run(&Zdt1::new(5), 1);
+        assert_eq!(r.evaluations, scale.mls_evals() / 4 * 4);
+    }
+
+    #[test]
+    fn density_results_shape() {
+        let scale = tiny_scale();
+        let d = DensityResults::collect(&scale, Density::D100);
+        assert_eq!(d.runs.len(), 3);
+        for (kind, runs) in &d.runs {
+            assert_eq!(runs.len(), 2, "{}", kind.name());
+            for r in runs {
+                assert!(!r.front.is_empty(), "{} produced an empty front", kind.name());
+            }
+        }
+        assert_eq!(d.of(AlgorithmKind::Mls).len(), 2);
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(AlgorithmKind::CellDe.name(), "CellDE");
+        assert_eq!(AlgorithmKind::Nsga2.name(), "NSGAII");
+        assert_eq!(AlgorithmKind::Mls.name(), "AEDB-MLS");
+    }
+}

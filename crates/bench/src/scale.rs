@@ -1,0 +1,152 @@
+//! Experiment scaling: paper-faithful or reduced budgets, parsed from CLI
+//! flags shared by all `exp_*` binaries.
+
+use aedb::scenario::Density;
+
+/// Scale knobs of an experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentScale {
+    /// Independent repetitions per algorithm (paper: 30).
+    pub reps: usize,
+    /// Fixed evaluation networks per fitness computation (paper: 10).
+    pub networks: usize,
+    /// Evaluation budget per run for the MOEAs (paper: 10 000; the MLS
+    /// budget is 2.4× this, matching §VI's "2.4 times more evaluations").
+    pub evals: u64,
+    /// Densities to run.
+    pub densities: Vec<Density>,
+    /// Whether full paper scale was requested.
+    pub paper: bool,
+    /// FAST99 samples per parameter (sensitivity experiment only).
+    pub fast_samples: usize,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self {
+            reps: 3,
+            networks: 5,
+            evals: 240,
+            densities: vec![Density::D100],
+            paper: false,
+            fast_samples: 129,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// The paper's full protocol.
+    pub fn paper() -> Self {
+        Self {
+            reps: 30,
+            networks: 10,
+            evals: 10_000,
+            densities: Density::ALL.to_vec(),
+            paper: true,
+            fast_samples: 1001,
+        }
+    }
+
+    /// Parses flags from `std::env::args`:
+    /// `--paper`, `--reps N`, `--evals N`, `--networks N`,
+    /// `--densities 100,200,300`, `--fast-samples N`.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator of arguments (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut scale = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--paper" => scale = Self::paper(),
+                "--reps" => scale.reps = expect_num(&mut it, "--reps") as usize,
+                "--evals" => scale.evals = expect_num(&mut it, "--evals"),
+                "--networks" => scale.networks = expect_num(&mut it, "--networks") as usize,
+                "--fast-samples" => {
+                    scale.fast_samples = expect_num(&mut it, "--fast-samples") as usize
+                }
+                "--densities" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--densities needs a value"));
+                    scale.densities = v
+                        .split(',')
+                        .map(|d| {
+                            Density::from_per_km2(d.trim().parse().unwrap_or(0))
+                                .unwrap_or_else(|| panic!("unknown density {d}"))
+                        })
+                        .collect();
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --paper | --reps N --evals N --networks N \
+                         --densities 100,200,300 --fast-samples N"
+                    );
+                    std::process::exit(0);
+                }
+                other => eprintln!("warning: ignoring unknown flag {other}"),
+            }
+        }
+        scale
+    }
+
+    /// MLS evaluation budget: 2.4× the MOEA budget, as in the paper
+    /// (24 000 vs 10 000).
+    pub fn mls_evals(&self) -> u64 {
+        (self.evals as f64 * 2.4).round() as u64
+    }
+}
+
+fn expect_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> u64 {
+    it.next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{flag} needs a numeric value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ExperimentScale {
+        ExperimentScale::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_quick() {
+        let s = parse(&[]);
+        assert!(!s.paper);
+        assert_eq!(s.densities, vec![Density::D100]);
+        assert!(s.evals <= 1000);
+    }
+
+    #[test]
+    fn paper_flag_sets_protocol() {
+        let s = parse(&["--paper"]);
+        assert!(s.paper);
+        assert_eq!(s.reps, 30);
+        assert_eq!(s.networks, 10);
+        assert_eq!(s.evals, 10_000);
+        assert_eq!(s.mls_evals(), 24_000);
+        assert_eq!(s.densities.len(), 3);
+    }
+
+    #[test]
+    fn individual_flags() {
+        let s = parse(&["--reps", "7", "--evals", "500", "--densities", "200,300"]);
+        assert_eq!(s.reps, 7);
+        assert_eq!(s.evals, 500);
+        assert_eq!(s.densities, vec![Density::D200, Density::D300]);
+    }
+
+    #[test]
+    fn mls_budget_ratio() {
+        let s = parse(&["--evals", "1000"]);
+        assert_eq!(s.mls_evals(), 2400);
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric")]
+    fn bad_number_panics() {
+        let _ = parse(&["--reps", "x"]);
+    }
+}

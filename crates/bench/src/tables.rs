@@ -1,0 +1,102 @@
+//! Minimal aligned-ASCII table printing for the experiment binaries.
+
+/// A simple text table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let ncol = self.header.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let sep: String = width.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+        out.push_str(&sep);
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let pad = width[i] - c.chars().count();
+                line.push_str(&format!("| {}{} ", c, " ".repeat(pad)));
+            }
+            line.push_str("|\n");
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push_str(&sep);
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with `p` decimals.
+pub fn f(v: f64, p: usize) -> String {
+    if v.is_finite() {
+        format!("{v:.p$}")
+    } else {
+        "∞".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["x", "1.5"]);
+        t.row(vec!["longer-name", "2"]);
+        let s = t.render();
+        assert!(s.contains("| name        | value |"), "{s}");
+        assert!(s.contains("| longer-name | 2     |"), "{s}");
+        // every line same width
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = Table::new(vec!["a", "b", "c"]);
+        t.row(vec!["1"]);
+        let s = t.render();
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(f64::INFINITY, 2), "∞");
+    }
+}

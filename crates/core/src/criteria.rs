@@ -1,0 +1,130 @@
+//! Search criteria — §IV-B of the paper.
+//!
+//! The FAST99 sensitivity analysis (§III-B, Table I) showed which
+//! parameters drive which objectives; the local-search operator exploits
+//! that by perturbing only a targeted subset per move:
+//!
+//! 1. **energy / forwardings** → `border_threshold`, `neighbors_threshold`,
+//! 2. **coverage** → `neighbors_threshold`,
+//! 3. **broadcast-time constraint** → `min_delay`, `max_delay`.
+//!
+//! Each iteration one criterion is picked uniformly at random. The type is
+//! generic over parameter indices so AEDB-MLS can serve as a local-search
+//! component for any problem (the paper positions it as reusable inside
+//! other metaheuristics); [`SearchCriteria::aedb`] encodes the paper's
+//! groups for the 5-parameter AEDB decision vector
+//! `[min_delay, max_delay, border, margin, neighbors]`.
+
+use rand::Rng;
+
+/// The set of parameter groups the local search can perturb.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchCriteria {
+    groups: Vec<Vec<usize>>,
+}
+
+impl SearchCriteria {
+    /// Builds criteria from explicit parameter-index groups.
+    ///
+    /// # Panics
+    /// Panics if `groups` is empty or any group is empty.
+    pub fn new(groups: Vec<Vec<usize>>) -> Self {
+        assert!(!groups.is_empty(), "need at least one search criterion");
+        assert!(groups.iter().all(|g| !g.is_empty()), "criteria groups must be non-empty");
+        Self { groups }
+    }
+
+    /// The paper's three AEDB criteria (§IV-B).
+    pub fn aedb() -> Self {
+        Self::new(vec![
+            vec![2, 4], // energy & forwardings: border + neighbors thresholds
+            vec![4],    // coverage: neighbors threshold
+            vec![0, 1], // broadcast-time constraint: min/max delay
+        ])
+    }
+
+    /// A single all-parameters criterion for generic problems with `n`
+    /// decision variables.
+    pub fn all_params(n: usize) -> Self {
+        assert!(n > 0);
+        Self::new(vec![(0..n).collect()])
+    }
+
+    /// Number of criteria.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether there are no criteria (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// The parameter indices of criterion `i`.
+    pub fn group(&self, i: usize) -> &[usize] {
+        &self.groups[i]
+    }
+
+    /// Picks a criterion uniformly at random and returns its indices.
+    pub fn pick<R: Rng>(&self, rng: &mut R) -> &[usize] {
+        &self.groups[rng.gen_range(0..self.groups.len())]
+    }
+
+    /// Largest parameter index referenced (for arity checks).
+    pub fn max_param_index(&self) -> usize {
+        self.groups.iter().flatten().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aedb_criteria_match_section_iv_b() {
+        let c = SearchCriteria::aedb();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.group(0), &[2, 4]);
+        assert_eq!(c.group(1), &[4]);
+        assert_eq!(c.group(2), &[0, 1]);
+        assert_eq!(c.max_param_index(), 4);
+    }
+
+    #[test]
+    fn all_params_single_group() {
+        let c = SearchCriteria::all_params(3);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.group(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn pick_covers_all_groups() {
+        let c = SearchCriteria::aedb();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let g = c.pick(&mut rng);
+            match g {
+                [2, 4] => seen[0] = true,
+                [4] => seen[1] = true,
+                [0, 1] => seen[2] = true,
+                other => panic!("unexpected group {other:?}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_criteria_panic() {
+        let _ = SearchCriteria::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_group_panics() {
+        let _ = SearchCriteria::new(vec![vec![0], vec![]]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # aedb-mls — the parallel multi-objective local search (the paper's
+//! contribution)
+//!
+//! AEDB-MLS (§IV) is a **multi-start population-based local search**:
+//!
+//! * `P` distributed populations × `T` threads per population; every
+//!   thread runs the iterative local-search procedure of Fig. 3 on its own
+//!   current solution,
+//! * a move perturbs the solution with the **BLX-α step of Eq. 2**, scaled
+//!   by the distance to a random *reference* solution `t` drawn from the
+//!   same population (shared memory),
+//! * which parameters are perturbed is decided by one of three **search
+//!   criteria** distilled from the FAST99 sensitivity analysis (§IV-B),
+//! * every feasible perturbed solution replaces the current one and is
+//!   offered to a **distributed external archive** maintained with
+//!   Adaptive Grid Archiving (message passing),
+//! * every `reset_iterations` iterations the population is thrown away and
+//!   re-seeded with random archive members (restart + collaboration),
+//! * each thread stops after `evals_per_thread` evaluations — the paper
+//!   runs 8 populations × 12 threads × 250 evaluations = 24 000.
+//!
+//! The crate mirrors the paper's *hybrid parallel model*: crossbeam
+//! channels connect workers to the archive manager (the message-passing
+//! tier that an MPI cluster provided in the original), while threads of
+//! one population share their population vector behind a
+//! `parking_lot::RwLock` (the shared-memory tier).
+
+pub mod criteria;
+pub mod hybrid;
+pub mod mls;
+
+pub use criteria::SearchCriteria;
+pub use hybrid::{CellDeMls, CellDeMlsConfig};
+pub use mls::{CriteriaChoice, Mls, MlsConfig, MlsResult};

@@ -1,0 +1,351 @@
+//! # fast99 — extended Fourier Amplitude Sensitivity Test
+//!
+//! Implements the global sensitivity-analysis estimator of Saltelli,
+//! Tarantola & Chan (*Technometrics*, 1999) — the method the paper's §III-B
+//! uses (via R's `fast99`) to decompose the variance of each AEDB objective
+//! into per-parameter **first-order effects** and **interactions**
+//! (Figure 2, Table I).
+//!
+//! ## Method
+//!
+//! All `k` parameters are explored simultaneously along a space-filling
+//! search curve indexed by `s ∈ (−π, π)`:
+//!
+//! ```text
+//! x_i(s) = 1/2 + (1/π) · asin( sin(ω_i s + φ_i) )
+//! ```
+//!
+//! The parameter of interest is driven with a high frequency `ω_max`, all
+//! others with low complementary frequencies `≤ ω_max / (2M)`. The model
+//! output along the curve is Fourier-analysed:
+//!
+//! * the variance at the harmonics `p·ω_max` (p = 1..M) estimates the
+//!   **first-order** (main) effect `S_i`,
+//! * the variance below `ω_max/2` estimates everything *not* involving
+//!   parameter `i`, so the **total** effect is
+//!   `ST_i = 1 − V_complement/V`, and
+//! * **interactions** are `ST_i − S_i` (the quantity stacked on top of the
+//!   main effect in Figure 2).
+
+pub mod morris;
+
+pub use morris::{EffectStats, Morris};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// Configuration of a FAST99 analysis.
+///
+/// # Example
+/// ```
+/// use fast99::Fast99;
+/// // y = 4·x0 + x1 : sixteen times more variance from x0
+/// let fast = Fast99::new(2, 501);
+/// let idx = fast.analyze(|x| 4.0 * x[0] + x[1]);
+/// assert!(idx[0].first_order > idx[1].first_order);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fast99 {
+    /// Number of model parameters `k`.
+    pub n_params: usize,
+    /// Samples along the search curve per parameter analysis (must be odd;
+    /// it is made odd internally). R's `fast99` default is ~1000.
+    pub n_samples: usize,
+    /// Interference factor `M` (number of harmonics; classic value 4).
+    pub harmonics: usize,
+    /// Seed for the random phase shifts `φ` (0 disables phase shifts,
+    /// matching Cukier's original curve).
+    pub phase_seed: u64,
+}
+
+impl Fast99 {
+    /// A standard configuration: `M = 4`, random phases.
+    pub fn new(n_params: usize, n_samples: usize) -> Self {
+        assert!(n_params >= 1);
+        Self { n_params, n_samples: n_samples.max(64), harmonics: 4, phase_seed: 0x5EED }
+    }
+
+    /// Number of model evaluations the full analysis performs
+    /// (`k` curves × `N` samples).
+    pub fn total_evaluations(&self) -> usize {
+        self.n_params * self.odd_samples()
+    }
+
+    fn odd_samples(&self) -> usize {
+        self.n_samples | 1
+    }
+
+    /// Maximum usable driver frequency for the given sample count
+    /// (Nyquist: harmonics up to `M·ω_max` must stay below `(N−1)/2`).
+    fn omega_max(&self) -> usize {
+        let n = self.odd_samples();
+        (((n - 1) / 2) / self.harmonics).max(self.harmonics * 2 + 1)
+    }
+
+    /// Complementary frequencies for the `k − 1` background parameters:
+    /// spread as evenly as possible over `1 ..= ω_max/(2M)`.
+    fn complementary_frequencies(&self) -> Vec<usize> {
+        let k = self.n_params.saturating_sub(1);
+        if k == 0 {
+            return Vec::new();
+        }
+        let max_c = (self.omega_max() / (2 * self.harmonics)).max(1);
+        (0..k)
+            .map(|j| if k == 1 { max_c.max(1) / 2 + 1 } else { 1 + (j * (max_c - 1)) / (k - 1).max(1) })
+            .map(|f| f.max(1))
+            .collect()
+    }
+
+    /// Generates the unit-hypercube design for analysing parameter
+    /// `target`: `N` points in `[0,1]^k`.
+    pub fn design(&self, target: usize) -> Vec<Vec<f64>> {
+        assert!(target < self.n_params);
+        let n = self.odd_samples();
+        let omega_max = self.omega_max();
+        let comp = self.complementary_frequencies();
+        // Assign frequencies: target gets ω_max, others the complementary set.
+        let mut omegas = vec![0usize; self.n_params];
+        omegas[target] = omega_max;
+        let mut ci = 0;
+        for (i, w) in omegas.iter_mut().enumerate() {
+            if i != target {
+                *w = comp[ci];
+                ci += 1;
+            }
+        }
+        // Random phase shift per parameter (re-seeded per target so designs
+        // are reproducible independently).
+        let mut rng = SmallRng::seed_from_u64(self.phase_seed.wrapping_add(target as u64));
+        let phases: Vec<f64> =
+            (0..self.n_params).map(|_| rng.gen_range(0.0..(2.0 * PI))).collect();
+        (0..n)
+            .map(|j| {
+                // s spans (−π, π)
+                let s = PI * (2.0 * (j as f64 + 0.5) / n as f64 - 1.0);
+                (0..self.n_params)
+                    .map(|i| {
+                        let angle = omegas[i] as f64 * s + phases[i];
+                        (0.5 + (1.0 / PI) * angle.sin().asin()).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Computes `(first_order, total)` indices for parameter `target` from
+    /// the model outputs along its design curve (same order as
+    /// [`design`](Self::design)).
+    pub fn indices(&self, target: usize, outputs: &[f64]) -> Indices {
+        // `target` is only a consistency check: the driver frequency is the
+        // same for every parameter, but callers must pair outputs with the
+        // matching design.
+        assert!(target < self.n_params, "target {target} out of range");
+        let n = self.odd_samples();
+        assert_eq!(outputs.len(), n, "outputs must match the design size");
+        let omega_max = self.omega_max();
+        let half = (n - 1) / 2;
+        // Fourier amplitudes at frequencies 1..=half via direct DFT (N is a
+        // few thousand at most; O(N²) worst case but we only need
+        // frequencies up to M·ω_max and the complement below ω_max/2 —
+        // still bounded by `half`).
+        let mean = outputs.iter().sum::<f64>() / n as f64;
+        let mut spectrum = vec![0.0f64; half + 1];
+        let mut a = vec![0.0f64; half + 1];
+        let mut b = vec![0.0f64; half + 1];
+        for (j, &y) in outputs.iter().enumerate() {
+            let t = 2.0 * PI * (j as f64 + 0.5) / n as f64;
+            let yc = y - mean;
+            for w in 1..=half {
+                let (s, c) = (w as f64 * t).sin_cos();
+                a[w] += yc * c;
+                b[w] += yc * s;
+            }
+        }
+        for w in 1..=half {
+            spectrum[w] = (a[w] * a[w] + b[w] * b[w]) / (n as f64 * n as f64);
+        }
+        let total_var: f64 = spectrum[1..].iter().sum();
+        if total_var <= 0.0 {
+            return Indices { first_order: 0.0, total: 0.0 };
+        }
+        // First order: harmonics of ω_max.
+        let mut v_i = 0.0;
+        for p in 1..=self.harmonics {
+            let w = p * omega_max;
+            if w <= half {
+                v_i += spectrum[w];
+            }
+        }
+        // Complement: all frequencies strictly below ω_max/2.
+        let cutoff = omega_max / 2;
+        let v_comp: f64 = spectrum[1..=cutoff.min(half)].iter().sum();
+        let first_order = (v_i / total_var).clamp(0.0, 1.0);
+        let total = (1.0 - v_comp / total_var).clamp(first_order, 1.0);
+        Indices { first_order, total }
+    }
+
+    /// Runs the complete analysis of a scalar model `f : [0,1]^k → ℝ`.
+    pub fn analyze<F: FnMut(&[f64]) -> f64>(&self, mut f: F) -> Vec<Indices> {
+        (0..self.n_params)
+            .map(|target| {
+                let design = self.design(target);
+                let outputs: Vec<f64> = design.iter().map(|x| f(x)).collect();
+                self.indices(target, &outputs)
+            })
+            .collect()
+    }
+
+    /// Like [`analyze`](Self::analyze) for models with several outputs:
+    /// returns `results[output][param]`.
+    pub fn analyze_multi<F: FnMut(&[f64]) -> Vec<f64>>(
+        &self,
+        n_outputs: usize,
+        mut f: F,
+    ) -> Vec<Vec<Indices>> {
+        let mut per_target: Vec<Vec<Vec<f64>>> = Vec::with_capacity(self.n_params);
+        for target in 0..self.n_params {
+            let design = self.design(target);
+            let mut outs: Vec<Vec<f64>> = vec![Vec::with_capacity(design.len()); n_outputs];
+            for x in &design {
+                let y = f(x);
+                assert_eq!(y.len(), n_outputs);
+                for (o, v) in y.into_iter().enumerate() {
+                    outs[o].push(v);
+                }
+            }
+            per_target.push(outs);
+        }
+        (0..n_outputs)
+            .map(|o| {
+                (0..self.n_params)
+                    .map(|target| self.indices(target, &per_target[target][o]))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Sensitivity indices of one parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Indices {
+    /// First-order ("main") effect `S_i ∈ [0,1]`.
+    pub first_order: f64,
+    /// Total effect `ST_i ≥ S_i`.
+    pub total: f64,
+}
+
+impl Indices {
+    /// Interaction share `ST_i − S_i` (the hatched stack in Figure 2).
+    pub fn interaction(&self) -> f64 {
+        (self.total - self.first_order).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_is_in_unit_cube_and_fills_it() {
+        let f = Fast99::new(3, 501);
+        let d = f.design(1);
+        assert_eq!(d.len(), 501);
+        let mut lo = [1.0f64; 3];
+        let mut hi = [0.0f64; 3];
+        for x in &d {
+            for i in 0..3 {
+                assert!((0.0..=1.0).contains(&x[i]));
+                lo[i] = lo[i].min(x[i]);
+                hi[i] = hi[i].max(x[i]);
+            }
+        }
+        // the driven parameter sweeps essentially the whole range
+        assert!(lo[1] < 0.05 && hi[1] > 0.95, "target range [{}, {}]", lo[1], hi[1]);
+    }
+
+    #[test]
+    fn linear_model_attributes_variance_by_coefficient() {
+        // y = 4 x0 + 1 x1 : Var ∝ 16 : 1 -> S0 ≈ 16/17, S1 ≈ 1/17
+        let f = Fast99::new(2, 1001);
+        let idx = f.analyze(|x| 4.0 * x[0] + x[1]);
+        assert!(idx[0].first_order > 0.85, "S0 = {:?}", idx[0]);
+        assert!(idx[1].first_order < 0.15, "S1 = {:?}", idx[1]);
+        assert!(idx[0].first_order > idx[1].first_order * 5.0);
+        // additive model: interactions near zero
+        assert!(idx[0].interaction() < 0.15, "{:?}", idx[0]);
+        assert!(idx[1].interaction() < 0.15, "{:?}", idx[1]);
+    }
+
+    #[test]
+    fn multiplicative_model_shows_interactions() {
+        // y = x0 * x1 has substantial interaction variance
+        let f = Fast99::new(2, 1001);
+        let idx = f.analyze(|x| (x[0] - 0.5) * (x[1] - 0.5));
+        assert!(idx[0].interaction() > 0.3, "{:?}", idx[0]);
+        assert!(idx[1].interaction() > 0.3, "{:?}", idx[1]);
+        assert!(idx[0].first_order < 0.3);
+    }
+
+    #[test]
+    fn inert_parameter_scores_zero() {
+        let f = Fast99::new(3, 1001);
+        let idx = f.analyze(|x| x[0].powi(2) + 0.5 * x[1]);
+        assert!(idx[2].first_order < 0.05, "{:?}", idx[2]);
+        assert!(idx[2].total < 0.25, "{:?}", idx[2]);
+    }
+
+    #[test]
+    fn constant_model_all_zero() {
+        let f = Fast99::new(2, 301);
+        let idx = f.analyze(|_| 7.0);
+        for i in idx {
+            assert_eq!(i.first_order, 0.0);
+            assert_eq!(i.total, 0.0);
+        }
+    }
+
+    #[test]
+    fn indices_bounded_and_ordered() {
+        let f = Fast99::new(4, 801);
+        let idx = f.analyze(|x| (6.0 * x[0]).sin() + x[1] * x[2] + 0.3 * x[3]);
+        for i in &idx {
+            assert!(i.first_order >= 0.0 && i.first_order <= 1.0);
+            assert!(i.total >= i.first_order && i.total <= 1.0);
+        }
+    }
+
+    #[test]
+    fn multi_output_matches_single_output() {
+        let f = Fast99::new(2, 501);
+        let single = f.analyze(|x| x[0] + 2.0 * x[1]);
+        let multi = f.analyze_multi(2, |x| vec![x[0] + 2.0 * x[1], x[0] * x[1]]);
+        for (a, b) in single.iter().zip(&multi[0]) {
+            assert!((a.first_order - b.first_order).abs() < 1e-12);
+            assert!((a.total - b.total).abs() < 1e-12);
+        }
+        assert_eq!(multi.len(), 2);
+        assert_eq!(multi[1].len(), 2);
+    }
+
+    #[test]
+    fn total_evaluations_accounting() {
+        let f = Fast99::new(5, 1000);
+        assert_eq!(f.total_evaluations(), 5 * 1001);
+    }
+
+    #[test]
+    fn ishigami_benchmark_ranking() {
+        // Ishigami: y = sin x1 + 7 sin² x2 + 0.1 x3⁴ sin x1 over [−π, π]³
+        // Known: S1≈0.31, S2≈0.44, S3=0, ST3≈0.24 (x3 interacts with x1).
+        let f = Fast99::new(3, 2001);
+        let idx = f.analyze(|u| {
+            let x: Vec<f64> = u.iter().map(|v| -PI + 2.0 * PI * v).collect();
+            x[0].sin() + 7.0 * x[1].sin().powi(2) + 0.1 * x[2].powi(4) * x[0].sin()
+        });
+        assert!((idx[0].first_order - 0.31).abs() < 0.08, "S1 = {:?}", idx[0]);
+        assert!((idx[1].first_order - 0.44).abs() < 0.08, "S2 = {:?}", idx[1]);
+        assert!(idx[2].first_order < 0.05, "S3 = {:?}", idx[2]);
+        assert!(idx[2].interaction() > 0.1, "ST3-S3 = {:?}", idx[2]);
+    }
+}

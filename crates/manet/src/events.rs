@@ -1,0 +1,232 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: ties in time are broken by
+//! insertion order, which makes simulation runs fully reproducible — a
+//! property the paper's evaluation protocol depends on (the same 10
+//! networks must evaluate every candidate configuration identically).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap event queue keyed by simulation time.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time `0`.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or lies in the past.
+    pub fn schedule(&mut self, time: f64, payload: E) {
+        assert!(!time.is_nan(), "cannot schedule at NaN");
+        assert!(time >= self.now, "cannot schedule in the past: {time} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Schedules `payload` after a non-negative delay.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) {
+        self.schedule(self.now + delay.max(0.0), payload);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5.0, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(2.5, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 2.5);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "first");
+        q.pop();
+        q.schedule_in(0.5, "second");
+        assert_eq!(q.pop(), Some((1.5, "second")));
+    }
+
+    #[test]
+    fn negative_delay_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "x");
+        q.pop();
+        q.schedule_in(-5.0, "y");
+        assert_eq!(q.pop(), Some((1.0, "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(4.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(2.0));
+    }
+
+    #[test]
+    fn stress_many_random_times_sorted() {
+        // pseudo-random insertion order must still drain sorted
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        let mut times = Vec::new();
+        for i in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = (x % 1_000_000) as f64 / 100.0;
+            q.schedule(t, i);
+            times.push(t);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= prev);
+            prev = t;
+            n += 1;
+        }
+        assert_eq!(n, 10_000);
+    }
+
+    #[test]
+    fn zero_duration_chain_preserves_causal_order() {
+        // an event scheduled "now" during processing runs after currently
+        // queued same-time events (FIFO among ties)
+        let mut q = EventQueue::new();
+        q.schedule(1.0, "a");
+        q.schedule(1.0, "b");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!((t, e), (1.0, "a"));
+        q.schedule_in(0.0, "c"); // same timestamp as "b", inserted later
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_stays_sorted() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(10.0, 10);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(5.0, 5);
+        q.schedule(2.0, 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert_eq!(q.pop().unwrap().1, 10);
+    }
+}

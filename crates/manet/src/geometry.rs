@@ -1,0 +1,190 @@
+//! 2-D geometry: vectors and the rectangular simulation field.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D point/vector in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// x coordinate (m).
+    pub x: f64,
+    /// y coordinate (m).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2::new(0.0, 0.0);
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Squared distance (avoids the square root on hot paths).
+    pub fn distance_sq(self, other: Vec2) -> f64 {
+        (self.x - other.x).powi(2) + (self.y - other.y).powi(2)
+    }
+
+    /// Vector length.
+    pub fn norm(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Unit vector with the given angle (radians).
+    pub fn from_angle(theta: f64) -> Self {
+        Self { x: theta.cos(), y: theta.sin() }
+    }
+}
+
+impl std::ops::Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl std::ops::Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, o: Vec2) -> Vec2 {
+        Vec2::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl std::ops::Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, k: f64) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+}
+
+/// The rectangular simulation field `[0, width] × [0, height]` (metres).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Field {
+    /// Width (m).
+    pub width: f64,
+    /// Height (m).
+    pub height: f64,
+}
+
+impl Field {
+    /// Creates a field; dimensions must be positive and finite.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(width.is_finite() && height.is_finite());
+        Self { width, height }
+    }
+
+    /// The 500 m × 500 m field of the paper (Table II).
+    pub fn paper() -> Self {
+        Self::new(500.0, 500.0)
+    }
+
+    /// Area in m².
+    pub fn area(self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Whether `p` lies inside the field (inclusive).
+    pub fn contains(self, p: Vec2) -> bool {
+        p.x >= 0.0 && p.x <= self.width && p.y >= 0.0 && p.y <= self.height
+    }
+
+    /// Folds an unconstrained point into the field by mirror reflection at
+    /// the walls — the analytic form of a bouncing trajectory. A particle
+    /// starting inside and moving in a straight line is, after folding, at
+    /// exactly the position the reflected (bounced) trajectory reaches.
+    pub fn reflect(self, p: Vec2) -> Vec2 {
+        Vec2::new(fold(p.x, self.width), fold(p.y, self.height))
+    }
+}
+
+/// Triangular-wave fold of `x` into `[0, w]` (reflection at both walls).
+fn fold(x: f64, w: f64) -> f64 {
+    debug_assert!(w > 0.0);
+    let period = 2.0 * w;
+    let m = x.rem_euclid(period);
+    if m <= w {
+        m
+    } else {
+        period - m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, 5.0);
+        assert_eq!(a + b, Vec2::new(4.0, 7.0));
+        assert_eq!(b - a, Vec2::new(2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert!((Vec2::new(3.0, 4.0).norm() - 5.0).abs() < 1e-12);
+        assert!((a.distance(b) - 13.0f64.sqrt()).abs() < 1e-12);
+        assert!((a.distance_sq(b) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_angle_is_unit() {
+        for k in 0..8 {
+            let v = Vec2::from_angle(k as f64 * std::f64::consts::FRAC_PI_4);
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+        let v = Vec2::from_angle(0.0);
+        assert!((v.x - 1.0).abs() < 1e-12 && v.y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn fold_basic_reflection() {
+        assert_eq!(fold(0.3, 1.0), 0.3);
+        assert!((fold(1.2, 1.0) - 0.8).abs() < 1e-12); // bounce off the far wall
+        assert!((fold(-0.2, 1.0) - 0.2).abs() < 1e-12); // bounce off the near wall
+        assert!((fold(2.5, 1.0) - 0.5).abs() < 1e-12); // full period plus half
+        assert_eq!(fold(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn reflect_stays_inside() {
+        let f = Field::new(10.0, 5.0);
+        for i in -50..50 {
+            let p = Vec2::new(i as f64 * 1.7, i as f64 * -2.3);
+            let r = f.reflect(p);
+            assert!(f.contains(r), "{p:?} -> {r:?}");
+        }
+    }
+
+    #[test]
+    fn reflect_identity_inside() {
+        let f = Field::new(10.0, 10.0);
+        let p = Vec2::new(3.0, 7.0);
+        assert_eq!(f.reflect(p), p);
+    }
+
+    #[test]
+    fn reflect_matches_manual_bounce() {
+        let f = Field::new(10.0, 10.0);
+        // start at x=9 moving +3 in x: wall at 10, overshoot 2 -> x=8
+        let p = f.reflect(Vec2::new(12.0, 5.0));
+        assert!((p.x - 8.0).abs() < 1e-12);
+        assert_eq!(p.y, 5.0);
+    }
+
+    #[test]
+    fn paper_field() {
+        let f = Field::paper();
+        assert_eq!(f.area(), 250_000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_field_panics() {
+        let _ = Field::new(0.0, 5.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Broadcast-performance metrics.
+//!
+//! §III-A of the paper defines the four observables of a dissemination
+//! process; they become the objectives / constraint of the tuning problem:
+//!
+//! 1. **coverage** — number of devices that received the broadcast,
+//! 2. **energy used** — sum over forwardings of the transmit power used
+//!    (the paper reports this in dBm; its Pareto fronts span negative
+//!    values, which only arises when per-forwarding dBm values are summed),
+//! 3. **forwardings** — number of nodes that decided to re-send,
+//! 4. **broadcast time** — from the source's send to the last reception.
+
+use crate::sim::NodeId;
+use std::collections::HashSet;
+
+/// Metrics of a single broadcast dissemination.
+#[derive(Debug, Clone)]
+pub struct BroadcastMetrics {
+    /// The originating node.
+    pub source: NodeId,
+    /// Simulation time of the source transmission.
+    pub start_time: f64,
+    /// Distinct nodes (≠ source) that successfully received the message.
+    pub covered: HashSet<NodeId>,
+    /// Time of the latest successful reception.
+    pub last_rx_time: f64,
+    /// Number of forwarding transmissions (source's initial send excluded).
+    pub forwardings: usize,
+    /// Σ of transmit powers (dBm) over forwarding transmissions.
+    pub energy_dbm_sum: f64,
+    /// Transmit power of the source's initial send (dBm).
+    pub source_tx_dbm: f64,
+    /// Whether the source's initial send has been recorded.
+    source_sent: bool,
+    /// Frames of this message lost to collisions/capture.
+    pub collisions: usize,
+    /// Duplicate receptions (node already had the message).
+    pub duplicates: usize,
+}
+
+impl BroadcastMetrics {
+    /// Creates an empty record for a broadcast started by `source` at
+    /// `start_time`.
+    pub fn new(source: NodeId, start_time: f64) -> Self {
+        Self {
+            source,
+            start_time,
+            covered: HashSet::new(),
+            last_rx_time: start_time,
+            forwardings: 0,
+            energy_dbm_sum: 0.0,
+            source_tx_dbm: 0.0,
+            source_sent: false,
+            collisions: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Records a successful reception by `node` at `time`.
+    pub fn record_reception(&mut self, node: NodeId, time: f64) {
+        if node == self.source {
+            return;
+        }
+        if !self.covered.insert(node) {
+            self.duplicates += 1;
+        }
+        if time > self.last_rx_time {
+            self.last_rx_time = time;
+        }
+    }
+
+    /// Records a transmission of the message by `node` at power `tx_dbm`.
+    pub fn record_transmission(&mut self, node: NodeId, tx_dbm: f64) {
+        if node == self.source && !self.source_sent {
+            self.source_sent = true;
+            self.source_tx_dbm = tx_dbm;
+        } else {
+            self.forwardings += 1;
+            self.energy_dbm_sum += tx_dbm;
+        }
+    }
+
+    /// Coverage: number of devices (≠ source) that got the message.
+    pub fn coverage(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// Broadcast time (s): last reception minus source send; `0` when
+    /// nobody received the message.
+    pub fn broadcast_time(&self) -> f64 {
+        if self.covered.is_empty() {
+            0.0
+        } else {
+            self.last_rx_time - self.start_time
+        }
+    }
+}
+
+/// Network-wide counters accumulated over a whole simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct SimCounters {
+    /// Beacons transmitted.
+    pub beacons_sent: u64,
+    /// Beacons successfully received.
+    pub beacons_received: u64,
+    /// Data frames transmitted.
+    pub data_sent: u64,
+    /// Data frames successfully received.
+    pub data_received: u64,
+    /// Frames lost to interference (failed capture).
+    pub collision_losses: u64,
+    /// Frames lost because the receiver was itself transmitting.
+    pub half_duplex_losses: u64,
+    /// Protocol timers fired.
+    pub timers_fired: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reception_bookkeeping() {
+        let mut m = BroadcastMetrics::new(0, 30.0);
+        m.record_reception(1, 30.1);
+        m.record_reception(2, 30.3);
+        m.record_reception(1, 30.2); // duplicate
+        assert_eq!(m.coverage(), 2);
+        assert_eq!(m.duplicates, 1);
+        assert!((m.broadcast_time() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn source_reception_ignored() {
+        let mut m = BroadcastMetrics::new(0, 30.0);
+        m.record_reception(0, 31.0);
+        assert_eq!(m.coverage(), 0);
+        assert_eq!(m.broadcast_time(), 0.0);
+    }
+
+    #[test]
+    fn source_tx_not_a_forwarding() {
+        let mut m = BroadcastMetrics::new(0, 30.0);
+        m.record_transmission(0, 16.02); // the initial send
+        m.record_transmission(3, 10.0);
+        m.record_transmission(5, -2.0);
+        assert_eq!(m.forwardings, 2);
+        assert!((m.energy_dbm_sum - 8.0).abs() < 1e-12);
+        assert_eq!(m.source_tx_dbm, 16.02);
+    }
+
+    #[test]
+    fn source_retransmission_counts_as_forwarding() {
+        let mut m = BroadcastMetrics::new(0, 30.0);
+        m.record_transmission(0, 16.02);
+        m.record_transmission(0, 12.0); // source re-sends: a forwarding
+        assert_eq!(m.forwardings, 1);
+        assert!((m.energy_dbm_sum - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_broadcast_time_zero() {
+        let m = BroadcastMetrics::new(4, 10.0);
+        assert_eq!(m.broadcast_time(), 0.0);
+        assert_eq!(m.coverage(), 0);
+    }
+
+    #[test]
+    fn negative_energy_sums() {
+        // Reduced tx powers below 0 dBm must produce negative sums — the
+        // paper's front region "[−20, 20] dBm" depends on this.
+        let mut m = BroadcastMetrics::new(0, 0.0);
+        m.record_transmission(0, 16.02);
+        for node in 1..=10 {
+            m.record_transmission(node, -2.0);
+        }
+        assert!((m.energy_dbm_sum - -20.0).abs() < 1e-9);
+    }
+}

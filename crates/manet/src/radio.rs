@@ -1,0 +1,328 @@
+//! Radio propagation: dBm arithmetic and path-loss models.
+//!
+//! The paper evaluates AEDB with ns-3; we reproduce ns-3's default
+//! wide-area propagation setup: **log-distance path loss** with exponent
+//! 3.0 and reference loss 46.6777 dB at 1 m (the `LogDistancePropagation-
+//! LossModel` defaults), a default transmit power of 16.02 dBm (Table II)
+//! and an energy-detection threshold of −96 dBm. With those numbers the
+//! default-power radio range is ≈ 139 m — a sensible one-hop radius inside
+//! the 500 m field.
+
+use serde::{Deserialize, Serialize};
+
+/// Converts a power in dBm to milliwatts.
+pub fn dbm_to_mw(dbm: f64) -> f64 {
+    10f64.powf(dbm / 10.0)
+}
+
+/// Converts a power in milliwatts to dBm. `mw` must be positive.
+pub fn mw_to_dbm(mw: f64) -> f64 {
+    debug_assert!(mw > 0.0, "mw_to_dbm needs positive power, got {mw}");
+    10.0 * mw.log10()
+}
+
+/// A distance-dependent path-loss model (loss in dB, distance in metres).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PathLoss {
+    /// `PL(d) = PL₀ + 10·n·log₁₀(d/d₀)` — ns-3's default model.
+    LogDistance {
+        /// Path-loss exponent `n` (ns-3 default 3.0).
+        exponent: f64,
+        /// Loss at the reference distance (dB; ns-3 default 46.6777).
+        reference_loss_db: f64,
+        /// Reference distance `d₀` (m; ns-3 default 1.0).
+        reference_distance: f64,
+    },
+    /// Free-space Friis loss at the given frequency.
+    Friis {
+        /// Carrier frequency in Hz (e.g. 2.4e9).
+        frequency_hz: f64,
+    },
+    /// Two-ray ground-reflection model with antenna heights `h` (m);
+    /// falls back to Friis below the crossover distance.
+    TwoRayGround {
+        /// Carrier frequency in Hz.
+        frequency_hz: f64,
+        /// Antenna height above ground (m), both ends.
+        antenna_height: f64,
+    },
+}
+
+impl PathLoss {
+    /// ns-3 default log-distance model (exponent 3, 46.6777 dB @ 1 m).
+    pub fn ns3_default() -> Self {
+        PathLoss::LogDistance { exponent: 3.0, reference_loss_db: 46.6777, reference_distance: 1.0 }
+    }
+
+    /// Path loss in dB at distance `d` metres. Distances below 1 mm are
+    /// clamped (colocated nodes would otherwise yield −∞).
+    pub fn loss_db(self, d: f64) -> f64 {
+        let d = d.max(1e-3);
+        match self {
+            PathLoss::LogDistance { exponent, reference_loss_db, reference_distance } => {
+                if d <= reference_distance {
+                    reference_loss_db
+                } else {
+                    reference_loss_db + 10.0 * exponent * (d / reference_distance).log10()
+                }
+            }
+            PathLoss::Friis { frequency_hz } => {
+                let lambda = 299_792_458.0 / frequency_hz;
+                let ratio = 4.0 * std::f64::consts::PI * d / lambda;
+                20.0 * ratio.log10()
+            }
+            PathLoss::TwoRayGround { frequency_hz, antenna_height } => {
+                let lambda = 299_792_458.0 / frequency_hz;
+                let crossover = 4.0 * std::f64::consts::PI * antenna_height * antenna_height
+                    / lambda;
+                if d < crossover {
+                    PathLoss::Friis { frequency_hz }.loss_db(d)
+                } else {
+                    // PL = 40 log d − 20 log(h_t h_r)
+                    40.0 * d.log10() - 20.0 * (antenna_height * antenna_height).log10()
+                }
+            }
+        }
+    }
+
+    /// Received power (dBm) for a transmission at `tx_dbm` over `d` metres.
+    pub fn rx_dbm(self, tx_dbm: f64, d: f64) -> f64 {
+        tx_dbm - self.loss_db(d)
+    }
+
+    /// The distance at which a transmission at `tx_dbm` is received at
+    /// exactly `rx_dbm` (the radio range for that threshold). Inverse of
+    /// [`rx_dbm`](PathLoss::rx_dbm); only exact for monotone models
+    /// (all provided models are monotone).
+    pub fn range_for(self, tx_dbm: f64, rx_dbm: f64) -> f64 {
+        let loss = tx_dbm - rx_dbm;
+        match self {
+            PathLoss::LogDistance { exponent, reference_loss_db, reference_distance } => {
+                if loss <= reference_loss_db {
+                    reference_distance
+                } else {
+                    reference_distance
+                        * 10f64.powf((loss - reference_loss_db) / (10.0 * exponent))
+                }
+            }
+            PathLoss::Friis { frequency_hz } => {
+                let lambda = 299_792_458.0 / frequency_hz;
+                lambda / (4.0 * std::f64::consts::PI) * 10f64.powf(loss / 20.0)
+            }
+            PathLoss::TwoRayGround { .. } => {
+                // invert numerically by bisection (model is monotone)
+                let (mut lo, mut hi) = (1e-3, 1e7);
+                for _ in 0..200 {
+                    let mid = 0.5 * (lo + hi);
+                    if self.loss_db(mid) < loss {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                0.5 * (lo + hi)
+            }
+        }
+    }
+
+    /// The transmit power (dBm) needed for the receiver at distance `d` to
+    /// see `rx_dbm`.
+    pub fn tx_for(self, rx_dbm: f64, d: f64) -> f64 {
+        rx_dbm + self.loss_db(d)
+    }
+}
+
+/// Physical-layer configuration shared by all nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioConfig {
+    /// Path-loss model.
+    pub path_loss: PathLoss,
+    /// Default transmit power (Table II: 16.02 dBm).
+    pub default_tx_dbm: f64,
+    /// Minimum received power for successful decoding (−96 dBm, the ns-3
+    /// Wi-Fi energy-detection default).
+    pub rx_sensitivity_dbm: f64,
+    /// Capture threshold: a frame survives interference when it is at
+    /// least this many dB above the sum of interfering frames.
+    pub capture_db: f64,
+    /// On-air duration of a beacon frame (s).
+    pub beacon_duration: f64,
+    /// On-air duration of a broadcast data frame (s).
+    pub data_duration: f64,
+    /// Standard deviation of static per-link log-normal shadowing (dB);
+    /// `0` disables it (the paper's setup — ns-3's default log-distance
+    /// model has no shadowing — but real deployments see 4–8 dB).
+    pub shadowing_sigma_db: f64,
+}
+
+/// Deterministic static shadowing of the link `{a, b}`: a zero-mean
+/// Gaussian (Box–Muller over a hash of the unordered pair and the
+/// simulation seed) scaled by `sigma_db`. Symmetric and reproducible —
+/// the same link sees the same shadowing for the whole simulation, which
+/// is the standard quasi-static model.
+pub fn link_shadowing_db(sigma_db: f64, seed: u64, a: usize, b: usize) -> f64 {
+    if sigma_db <= 0.0 {
+        return 0.0;
+    }
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15u64;
+    for v in [lo as u64, hi as u64] {
+        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h = splitmix64(h);
+    }
+    let u1 = (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64;
+    let u2 = (splitmix64(h ^ 0xDEAD_BEEF) >> 11) as f64 / (1u64 << 53) as f64;
+    let g = (-2.0 * (u1.max(1e-300)).ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    sigma_db * g
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RadioConfig {
+    /// Paper-faithful defaults: ns-3 log-distance propagation, 16.02 dBm
+    /// default power, −96 dBm sensitivity, 10 dB capture, ~1 Mb/s frame
+    /// timings (beacon 50 B, data 512 B).
+    pub fn paper() -> Self {
+        Self {
+            path_loss: PathLoss::ns3_default(),
+            default_tx_dbm: 16.02,
+            rx_sensitivity_dbm: -96.0,
+            capture_db: 10.0,
+            beacon_duration: 50.0 * 8.0 / 1.0e6,
+            data_duration: 512.0 * 8.0 / 1.0e6,
+            shadowing_sigma_db: 0.0,
+        }
+    }
+
+    /// Radio range (m) at the default transmit power.
+    pub fn default_range(&self) -> f64 {
+        self.path_loss.range_for(self.default_tx_dbm, self.rx_sensitivity_dbm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_mw_round_trip() {
+        for dbm in [-96.0, -30.0, 0.0, 16.02, 30.0] {
+            let mw = dbm_to_mw(dbm);
+            assert!((mw_to_dbm(mw) - dbm).abs() < 1e-9);
+        }
+        assert!((dbm_to_mw(0.0) - 1.0).abs() < 1e-12);
+        assert!((dbm_to_mw(10.0) - 10.0).abs() < 1e-12);
+        assert!((dbm_to_mw(-10.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_distance_reference_point() {
+        let m = PathLoss::ns3_default();
+        assert!((m.loss_db(1.0) - 46.6777).abs() < 1e-9);
+        // +30 dB per decade with exponent 3
+        assert!((m.loss_db(10.0) - 76.6777).abs() < 1e-9);
+        assert!((m.loss_db(100.0) - 106.6777).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_distance_monotone() {
+        let m = PathLoss::ns3_default();
+        let mut prev = m.loss_db(0.5);
+        for i in 1..200 {
+            let d = i as f64;
+            let l = m.loss_db(d);
+            assert!(l >= prev - 1e-12);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn paper_range_is_reasonable() {
+        let r = RadioConfig::paper();
+        let range = r.default_range();
+        // 16.02 + 96 = 112.02 dB budget; 46.6777 + 30 log10(d) = 112.02
+        // => d = 10^(65.34/30) ≈ 150 m
+        assert!((130.0..170.0).contains(&range), "range = {range}");
+    }
+
+    #[test]
+    fn range_for_inverts_rx_dbm() {
+        let m = PathLoss::ns3_default();
+        let d = m.range_for(16.02, -80.0);
+        assert!((m.rx_dbm(16.02, d) - -80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tx_for_inverts_rx() {
+        let m = PathLoss::ns3_default();
+        let tx = m.tx_for(-96.0, 75.0);
+        assert!((m.rx_dbm(tx, 75.0) - -96.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn friis_known_value() {
+        // 2.4 GHz, 100 m: FSPL ≈ 80.1 dB
+        let m = PathLoss::Friis { frequency_hz: 2.4e9 };
+        assert!((m.loss_db(100.0) - 80.1).abs() < 0.2, "{}", m.loss_db(100.0));
+        let d = m.range_for(0.0, -80.1);
+        assert!((d - 100.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn two_ray_reduces_to_friis_close_in() {
+        let tr = PathLoss::TwoRayGround { frequency_hz: 2.4e9, antenna_height: 1.5 };
+        let fr = PathLoss::Friis { frequency_hz: 2.4e9 };
+        assert_eq!(tr.loss_db(10.0), fr.loss_db(10.0));
+        // far away: 40 dB/decade slope
+        let l1 = tr.loss_db(1000.0);
+        let l2 = tr.loss_db(10_000.0);
+        assert!((l2 - l1 - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_ray_range_inversion() {
+        let tr = PathLoss::TwoRayGround { frequency_hz: 2.4e9, antenna_height: 1.5 };
+        let d = tr.range_for(16.0, -90.0);
+        assert!((tr.rx_dbm(16.0, d) - -90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shadowing_zero_sigma_is_zero() {
+        assert_eq!(link_shadowing_db(0.0, 42, 1, 2), 0.0);
+    }
+
+    #[test]
+    fn shadowing_symmetric_and_deterministic() {
+        let a = link_shadowing_db(6.0, 42, 3, 9);
+        let b = link_shadowing_db(6.0, 42, 9, 3);
+        assert_eq!(a, b);
+        assert_eq!(a, link_shadowing_db(6.0, 42, 3, 9));
+        // different seed or link gives (almost surely) a different value
+        assert_ne!(a, link_shadowing_db(6.0, 43, 3, 9));
+        assert_ne!(a, link_shadowing_db(6.0, 42, 3, 10));
+    }
+
+    #[test]
+    fn shadowing_distribution_plausible() {
+        let sigma = 6.0;
+        let n = 2000;
+        let samples: Vec<f64> =
+            (0..n).map(|i| link_shadowing_db(sigma, 7, i, i + 1)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.5, "mean = {mean}");
+        assert!((var.sqrt() - sigma).abs() < 0.5, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn colocated_nodes_do_not_blow_up() {
+        let m = PathLoss::ns3_default();
+        assert!(m.loss_db(0.0).is_finite());
+        assert!(m.rx_dbm(16.0, 0.0).is_finite());
+    }
+}

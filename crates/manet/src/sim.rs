@@ -1,0 +1,625 @@
+//! The discrete-event simulator: beaconing, mobility, half-duplex radios
+//! with a capture-based collision model, protocol timers and metric
+//! collection.
+//!
+//! One [`Simulator`] run reproduces the paper's evaluation protocol
+//! (Table II): nodes are placed uniformly in the field, move under random
+//! walk and exchange beacons from `t = 0`; the broadcast starts at
+//! `t = 30 s` and the simulation ends at `t = 40 s`.
+
+use crate::events::EventQueue;
+use crate::geometry::{Field, Vec2};
+use crate::metrics::{BroadcastMetrics, SimCounters};
+use crate::mobility::{AnyMobility, Mobility, MobilityModel, RandomWalk, RandomWaypoint, Stationary};
+use crate::neighbor::{NeighborEntry, NeighborTable};
+use crate::protocol::{Protocol, ProtocolApi};
+use crate::radio::{dbm_to_mw, RadioConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Node identifier: an index in `0..n_nodes`.
+pub type NodeId = usize;
+
+/// Complete configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The simulation field.
+    pub field: Field,
+    /// Number of devices.
+    pub n_nodes: usize,
+    /// Node speed range (m/s); Table II: `[0, 2]`.
+    pub speed_range: (f64, f64),
+    /// Mobility model; Table II: random walk, re-draw every 20 s.
+    pub mobility: MobilityModel,
+    /// Physical layer.
+    pub radio: RadioConfig,
+    /// Beacon (hello) period in seconds; the paper's AEDB uses 1 s.
+    pub beacon_interval: f64,
+    /// Neighbour entries older than this many seconds are considered gone.
+    pub neighbor_expiry: f64,
+    /// Time the broadcast starts (warm-up before it); Table II: 30 s.
+    pub broadcast_time: f64,
+    /// End of the simulation; Table II: 40 s.
+    pub end_time: f64,
+    /// The broadcasting source node.
+    pub source: NodeId,
+    /// RNG seed — fixing it fixes the *network*: placement, mobility and
+    /// beacon phases are all derived from it.
+    pub seed: u64,
+    /// How initial node positions are chosen.
+    pub placement: Placement,
+}
+
+/// Initial node placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Uniformly random in the field (the paper's setup).
+    UniformRandom,
+    /// Explicit positions (deterministic topologies for tests/examples);
+    /// must provide exactly `n_nodes` points inside the field.
+    Explicit(Vec<Vec2>),
+}
+
+impl SimConfig {
+    /// The paper's scenario (Table II) for a given node count and seed.
+    /// Node counts for the three densities on the 500 m × 500 m field:
+    /// 25 (100 dev/km²), 50 (200 dev/km²), 75 (300 dev/km²).
+    pub fn paper(n_nodes: usize, seed: u64) -> Self {
+        Self {
+            field: Field::paper(),
+            n_nodes,
+            speed_range: (0.0, 2.0),
+            mobility: MobilityModel::RandomWalk { change_interval: 20.0 },
+            radio: RadioConfig::paper(),
+            beacon_interval: 1.0,
+            neighbor_expiry: 2.5,
+            broadcast_time: 30.0,
+            end_time: 40.0,
+            source: 0,
+            seed,
+            placement: Placement::UniformRandom,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Metrics of the broadcast dissemination.
+    pub broadcast: BroadcastMetrics,
+    /// Network-wide counters.
+    pub counters: SimCounters,
+    /// Number of nodes simulated.
+    pub n_nodes: usize,
+}
+
+/// What kind of frame a transmission carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FrameKind {
+    Beacon,
+    Data,
+}
+
+/// An on-air transmission (positions frozen at its start).
+#[derive(Debug, Clone, Copy)]
+struct Transmission {
+    sender: NodeId,
+    pos: Vec2,
+    tx_dbm: f64,
+    start: f64,
+    end: f64,
+    kind: FrameKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Beacon(NodeId),
+    MobilityChange(NodeId),
+    TxEnd(Transmission),
+    Timer { node: NodeId, tag: u64 },
+    StartBroadcast(NodeId),
+}
+
+/// Simulator state visible to protocols through [`ProtocolApi`].
+struct World {
+    config: SimConfig,
+    queue: EventQueue<Event>,
+    mobility: Vec<AnyMobility>,
+    tables: Vec<NeighborTable>,
+    rng: SmallRng,
+    /// Recently started transmissions, kept for interference computation.
+    recent: VecDeque<Transmission>,
+    metrics: BroadcastMetrics,
+    counters: SimCounters,
+    broadcast_started: bool,
+}
+
+impl World {
+    fn position(&self, node: NodeId, t: f64) -> Vec2 {
+        self.mobility[node].position(t)
+    }
+
+    fn start_transmission(&mut self, node: NodeId, tx_dbm: f64, kind: FrameKind) {
+        let now = self.queue.now();
+        let duration = match kind {
+            FrameKind::Beacon => self.config.radio.beacon_duration,
+            FrameKind::Data => self.config.radio.data_duration,
+        };
+        let tx = Transmission {
+            sender: node,
+            pos: self.position(node, now),
+            tx_dbm,
+            start: now,
+            end: now + duration,
+            kind,
+        };
+        match kind {
+            FrameKind::Beacon => self.counters.beacons_sent += 1,
+            FrameKind::Data => {
+                self.counters.data_sent += 1;
+                self.metrics.record_transmission(node, tx_dbm);
+            }
+        }
+        self.recent.push_back(tx);
+        self.queue.schedule(tx.end, Event::TxEnd(tx));
+    }
+
+    /// Successful receivers of `tx` under propagation, half-duplex and
+    /// capture rules. Returns `(node, rx_dbm)` in ascending node order.
+    fn deliveries(&mut self, tx: &Transmission) -> Vec<(NodeId, f64)> {
+        // Prune transmissions that cannot overlap this or any future frame.
+        while let Some(front) = self.recent.front() {
+            if front.end <= tx.start {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        let pl = self.config.radio.path_loss;
+        let sens = self.config.radio.rx_sensitivity_dbm;
+        let capture_ratio = dbm_to_mw(self.config.radio.capture_db);
+        let sigma = self.config.radio.shadowing_sigma_db;
+        let seed = self.config.seed;
+        let mut out = Vec::new();
+        for r in 0..self.config.n_nodes {
+            if r == tx.sender {
+                continue;
+            }
+            // Receiver position sampled at frame end (= now): frames last
+            // milliseconds while nodes move at ≤ 2 m/s, so start-vs-end
+            // sampling differs by millimetres — but `now` is always ahead
+            // of any mobility-segment origin, keeping queries monotone.
+            let rpos = self.position(r, tx.end);
+            let rx_dbm = pl.rx_dbm(tx.tx_dbm, tx.pos.distance(rpos))
+                + crate::radio::link_shadowing_db(sigma, seed, tx.sender, r);
+            if rx_dbm < sens {
+                continue;
+            }
+            // Half duplex: a node that transmitted during the frame loses it.
+            let mut half_duplex = false;
+            let mut interference_mw = 0.0;
+            for o in &self.recent {
+                if std::ptr::eq(o, tx) {
+                    continue;
+                }
+                if o.start >= tx.end || o.end <= tx.start {
+                    continue; // no overlap
+                }
+                if o.sender == tx.sender && o.start == tx.start && o.end == tx.end {
+                    continue; // the frame itself (copy in the log)
+                }
+                if o.sender == r {
+                    half_duplex = true;
+                    break;
+                }
+                let o_rx = pl.rx_dbm(o.tx_dbm, o.pos.distance(rpos))
+                    + crate::radio::link_shadowing_db(sigma, seed, o.sender, r);
+                if o_rx >= sens - 10.0 {
+                    // Only energy near the sensitivity floor matters.
+                    interference_mw += dbm_to_mw(o_rx);
+                }
+            }
+            if half_duplex {
+                self.counters.half_duplex_losses += 1;
+                if tx.kind == FrameKind::Data {
+                    self.metrics.collisions += 1;
+                }
+                continue;
+            }
+            if interference_mw > 0.0 && dbm_to_mw(rx_dbm) < capture_ratio * interference_mw {
+                self.counters.collision_losses += 1;
+                if tx.kind == FrameKind::Data {
+                    self.metrics.collisions += 1;
+                }
+                continue;
+            }
+            out.push((r, rx_dbm));
+        }
+        out
+    }
+}
+
+impl ProtocolApi for World {
+    fn now(&self) -> f64 {
+        self.queue.now()
+    }
+
+    fn set_timer(&mut self, node: NodeId, delay: f64, tag: u64) {
+        self.queue.schedule_in(delay, Event::Timer { node, tag });
+    }
+
+    fn transmit(&mut self, node: NodeId, tx_dbm: f64) {
+        self.start_transmission(node, tx_dbm, FrameKind::Data);
+    }
+
+    fn neighbors(&self, node: NodeId) -> Vec<NeighborEntry> {
+        self.tables[node].live(self.queue.now(), self.config.neighbor_expiry)
+    }
+
+    fn default_tx_dbm(&self) -> f64 {
+        self.config.radio.default_tx_dbm
+    }
+
+    fn rx_sensitivity_dbm(&self) -> f64 {
+        self.config.radio.rx_sensitivity_dbm
+    }
+
+    fn rand(&mut self) -> f64 {
+        self.rng.gen()
+    }
+}
+
+/// A configured simulation run driving a protocol `P`.
+pub struct Simulator<P: Protocol> {
+    world: World,
+    protocol: P,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Builds the simulator: places nodes, seeds mobility and schedules the
+    /// initial beacon/mobility/broadcast events.
+    pub fn new(config: SimConfig, protocol: P) -> Self {
+        assert!(config.n_nodes >= 1, "need at least one node");
+        assert!(config.source < config.n_nodes, "source out of range");
+        assert!(config.end_time >= config.broadcast_time);
+        assert!(config.beacon_interval > 0.0);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let mut mobility = Vec::with_capacity(config.n_nodes);
+        let mut queue = EventQueue::new();
+        if let Placement::Explicit(pts) = &config.placement {
+            assert_eq!(pts.len(), config.n_nodes, "placement size mismatch");
+            assert!(pts.iter().all(|p| config.field.contains(*p)), "placement outside field");
+        }
+        for node in 0..config.n_nodes {
+            let start = match &config.placement {
+                Placement::UniformRandom => Vec2::new(
+                    rng.gen_range(0.0..config.field.width),
+                    rng.gen_range(0.0..config.field.height),
+                ),
+                Placement::Explicit(pts) => pts[node],
+            };
+            let m = match config.mobility {
+                MobilityModel::RandomWalk { change_interval } => AnyMobility::Walk(
+                    RandomWalk::new(config.field, start, config.speed_range, change_interval, 0.0, &mut rng),
+                ),
+                MobilityModel::RandomWaypoint { pause } => AnyMobility::Waypoint(
+                    RandomWaypoint::new(
+                        config.field,
+                        start,
+                        (config.speed_range.0.max(0.1), config.speed_range.1.max(0.2)),
+                        pause,
+                        0.0,
+                        &mut rng,
+                    ),
+                ),
+                MobilityModel::Stationary => AnyMobility::Still(Stationary { pos: start }),
+            };
+            if m.next_change().is_finite() {
+                queue.schedule(m.next_change(), Event::MobilityChange(node));
+            }
+            mobility.push(m);
+            // Desynchronised beacon phases.
+            let offset = rng.gen_range(0.0..config.beacon_interval);
+            queue.schedule(offset, Event::Beacon(node));
+        }
+        queue.schedule(config.broadcast_time, Event::StartBroadcast(config.source));
+        let metrics = BroadcastMetrics::new(config.source, config.broadcast_time);
+        let tables = (0..config.n_nodes).map(|_| NeighborTable::new()).collect();
+        let world = World {
+            config,
+            queue,
+            mobility,
+            tables,
+            rng,
+            recent: VecDeque::new(),
+            metrics,
+            counters: SimCounters::default(),
+            broadcast_started: false,
+        };
+        Self { world, protocol }
+    }
+
+    /// Runs the simulation to `end_time` and returns the report.
+    pub fn run(mut self) -> SimReport {
+        self.run_until(self.world.config.end_time);
+        SimReport {
+            broadcast: self.world.metrics,
+            counters: self.world.counters,
+            n_nodes: self.world.config.n_nodes,
+        }
+    }
+
+    /// Processes events up to (and including) time `t`, leaving the
+    /// simulator inspectable — used for topology snapshots and debugging.
+    pub fn run_until(&mut self, t: f64) {
+        while let Some(next) = self.world.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            let (_, ev) = self.world.queue.pop().expect("peeked event vanished");
+            self.dispatch(ev);
+        }
+    }
+
+    /// Node positions at time `t` (must be ≥ the last processed event).
+    pub fn positions_at(&self, t: f64) -> Vec<Vec2> {
+        self.world.mobility.iter().map(|m| m.position(t)).collect()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.world.queue.now()
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Beacon(node) => {
+                self.world.start_transmission(
+                    node,
+                    self.world.config.radio.default_tx_dbm,
+                    FrameKind::Beacon,
+                );
+                // Re-arm with ±5 % jitter so persistent phase collisions
+                // cannot lock in (there is no CSMA in this model).
+                let base = self.world.config.beacon_interval;
+                let jitter = base * (0.95 + 0.1 * self.world.rng.gen::<f64>());
+                self.world.queue.schedule_in(jitter, Event::Beacon(node));
+            }
+            Event::MobilityChange(node) => {
+                self.world.mobility[node].advance(&mut self.world.rng);
+                let next = self.world.mobility[node].next_change();
+                if next.is_finite() {
+                    self.world.queue.schedule(next, Event::MobilityChange(node));
+                }
+            }
+            Event::TxEnd(tx) => {
+                let deliveries = self.world.deliveries(&tx);
+                match tx.kind {
+                    FrameKind::Beacon => {
+                        let now = self.world.queue.now();
+                        self.world.counters.beacons_received += deliveries.len() as u64;
+                        for (r, rx_dbm) in deliveries {
+                            self.world.tables[r].observe(tx.sender, rx_dbm, now);
+                        }
+                    }
+                    FrameKind::Data => {
+                        let now = self.world.queue.now();
+                        self.world.counters.data_received += deliveries.len() as u64;
+                        for (r, rx_dbm) in deliveries {
+                            self.world.metrics.record_reception(r, now);
+                            self.protocol.on_receive(r, tx.sender, rx_dbm, &mut self.world);
+                        }
+                    }
+                }
+            }
+            Event::Timer { node, tag } => {
+                self.world.counters.timers_fired += 1;
+                self.protocol.on_timer(node, tag, &mut self.world);
+            }
+            Event::StartBroadcast(node) => {
+                self.world.broadcast_started = true;
+                self.protocol.on_start(node, &mut self.world);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Flooding, SourceOnly};
+
+    fn dense_config(seed: u64) -> SimConfig {
+        // 50 nodes in a small field: fully connected at default power.
+        let mut c = SimConfig::paper(50, seed);
+        c.field = Field::new(100.0, 100.0);
+        c
+    }
+
+    #[test]
+    fn source_only_reaches_one_hop_neighbors() {
+        let c = dense_config(1);
+        let report = Simulator::new(c, SourceOnly).run();
+        // 100 m field, ~150 m range: everyone is one hop away.
+        assert_eq!(report.broadcast.coverage(), 49, "counters: {:?}", report.counters);
+        assert_eq!(report.broadcast.forwardings, 0);
+        assert_eq!(report.broadcast.energy_dbm_sum, 0.0);
+        assert!(report.broadcast.broadcast_time() < 0.1);
+    }
+
+    #[test]
+    fn flooding_covers_multihop_network() {
+        let mut c = SimConfig::paper(60, 7);
+        c.field = Field::new(400.0, 400.0); // multi-hop but well connected
+        let n = c.n_nodes;
+        let report = Simulator::new(c, Flooding::new(n, (0.0, 0.05))).run();
+        assert!(
+            report.broadcast.coverage() > 50,
+            "coverage {} too small; counters {:?}",
+            report.broadcast.coverage(),
+            report.counters
+        );
+        assert!(report.broadcast.forwardings > 10);
+        assert!(report.broadcast.broadcast_time() < 2.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let run = |seed| {
+            let c = SimConfig::paper(40, seed);
+            let n = c.n_nodes;
+            let r = Simulator::new(c, Flooding::new(n, (0.0, 0.1))).run();
+            (
+                r.broadcast.coverage(),
+                r.broadcast.forwardings,
+                r.broadcast.energy_dbm_sum,
+                r.broadcast.broadcast_time(),
+                r.counters.beacons_sent,
+            )
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123), run(124), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn beacons_populate_neighbor_tables() {
+        let c = dense_config(3);
+        let sim = Simulator::new(c, SourceOnly);
+        // run manually to just after a couple of beacon rounds
+        let mut world = sim.world;
+        let mut protocol = sim.protocol;
+        while let Some(t) = world.queue.peek_time() {
+            if t > 3.0 {
+                break;
+            }
+            let (_, ev) = world.queue.pop().unwrap();
+            match ev {
+                Event::Beacon(node) => {
+                    world.start_transmission(node, world.config.radio.default_tx_dbm, FrameKind::Beacon);
+                    let base = world.config.beacon_interval;
+                    world.queue.schedule_in(base, Event::Beacon(node));
+                }
+                Event::TxEnd(tx) => {
+                    let ds = world.deliveries(&tx);
+                    let now = world.queue.now();
+                    if tx.kind == FrameKind::Beacon {
+                        for (r, rx) in ds {
+                            world.tables[r].observe(tx.sender, rx, now);
+                        }
+                    }
+                }
+                Event::MobilityChange(n) => {
+                    world.mobility[n].advance(&mut world.rng);
+                    let next = world.mobility[n].next_change();
+                    if next.is_finite() {
+                        world.queue.schedule(next, Event::MobilityChange(n));
+                    }
+                }
+                Event::StartBroadcast(n) => protocol.on_start(n, &mut world),
+                Event::Timer { node, tag } => protocol.on_timer(node, tag, &mut world),
+            }
+        }
+        // dense network: every node should know (almost) everyone
+        let neigh = world.neighbors(0);
+        assert!(neigh.len() >= 45, "only {} neighbors known", neigh.len());
+        // received powers must be decodable and ordered fields sane
+        for e in &neigh {
+            assert!(e.rx_dbm >= world.config.radio.rx_sensitivity_dbm);
+            assert!(e.last_seen <= world.queue.now());
+        }
+    }
+
+    #[test]
+    fn sparse_network_partitions_limit_coverage() {
+        // 5 nodes in a huge field: almost surely out of range of each other.
+        let mut c = SimConfig::paper(5, 11);
+        c.field = Field::new(5000.0, 5000.0);
+        let n = c.n_nodes;
+        let report = Simulator::new(c, Flooding::new(n, (0.0, 0.05))).run();
+        assert!(report.broadcast.coverage() < 4);
+    }
+
+    #[test]
+    fn no_self_delivery_and_energy_accounting() {
+        let c = dense_config(5);
+        let n = c.n_nodes;
+        let report = Simulator::new(c, Flooding::new(n, (0.0, 0.2))).run();
+        // flooding: everyone forwards once at default power
+        let f = report.broadcast.forwardings as f64;
+        assert!((report.broadcast.energy_dbm_sum - f * 16.02).abs() < 1e-6);
+        assert!(!report.broadcast.covered.contains(&0), "source must not count as covered");
+    }
+
+    #[test]
+    fn broadcast_time_monotone_with_flooding_jitter() {
+        // larger forwarding jitter stretches the dissemination in time
+        let bt = |jitter: (f64, f64)| {
+            let mut c = SimConfig::paper(60, 17);
+            c.field = Field::new(400.0, 400.0);
+            let n = c.n_nodes;
+            Simulator::new(c, Flooding::new(n, jitter)).run().broadcast.broadcast_time()
+        };
+        let fast = bt((0.0, 0.01));
+        let slow = bt((1.0, 2.0));
+        assert!(slow > fast, "slow {slow} <= fast {fast}");
+    }
+
+    #[test]
+    fn explicit_placement_chain_topology() {
+        // A 4-node chain spaced 120 m apart (range ≈ 150 m): flooding must
+        // traverse hop by hop and reach the far end.
+        let mut c = SimConfig::paper(4, 1);
+        c.mobility = crate::mobility::MobilityModel::Stationary;
+        c.placement = Placement::Explicit(vec![
+            Vec2::new(10.0, 250.0),
+            Vec2::new(130.0, 250.0),
+            Vec2::new(250.0, 250.0),
+            Vec2::new(370.0, 250.0),
+        ]);
+        let report = Simulator::new(c, Flooding::new(4, (0.01, 0.05))).run();
+        assert_eq!(report.broadcast.coverage(), 3, "counters {:?}", report.counters);
+        // last hop needs at least 3 frames: source + 2 relays
+        assert!(report.broadcast.forwardings >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement size mismatch")]
+    fn explicit_placement_arity_checked() {
+        let mut c = SimConfig::paper(3, 1);
+        c.placement = Placement::Explicit(vec![Vec2::new(0.0, 0.0)]);
+        let _ = Simulator::new(c, SourceOnly);
+    }
+
+    #[test]
+    fn run_until_snapshots_positions() {
+        let c = SimConfig::paper(10, 5);
+        let field = c.field;
+        let mut sim = Simulator::new(c, SourceOnly);
+        sim.run_until(30.0);
+        assert!(sim.now() <= 30.0);
+        let pos = sim.positions_at(30.0);
+        assert_eq!(pos.len(), 10);
+        assert!(pos.iter().all(|p| field.contains(*p)));
+        // continuing to the end still works
+        sim.run_until(40.0);
+        assert!(sim.now() > 30.0);
+    }
+
+    #[test]
+    fn simultaneous_transmissions_collide() {
+        // Two forwarders with zero jitter transmit in the same instant;
+        // their frames overlap at common receivers. With capture at 10 dB
+        // equidistant receivers lose both.
+        let mut c = dense_config(23);
+        c.radio.capture_db = 10.0;
+        let n = c.n_nodes;
+        let report = Simulator::new(c, Flooding::new(n, (0.0, 0.0))).run();
+        // all forwarders fire at exactly the same time => massive collisions
+        assert!(
+            report.counters.collision_losses + report.counters.half_duplex_losses > 0,
+            "expected losses, got {:?}",
+            report.counters
+        );
+    }
+}

@@ -1,0 +1,274 @@
+//! CellDE (Durillo, Nebro, Luna, Alba 2008) — the second baseline: a
+//! cellular genetic algorithm whose variation operator is differential
+//! evolution, with a bounded external archive and archive feedback.
+//!
+//! Each individual lives on a toroidal √N×√N grid and only interacts with
+//! its C9 neighbourhood (the 8 surrounding cells). Per cell and generation:
+//!
+//! 1. pick three distinct neighbours `r1, r2, r3`,
+//! 2. build the trial vector with DE/rand/1/bin (`F = 0.5`, `CR = 0.9`),
+//! 3. if the trial (constrained-)dominates the incumbent, it replaces it;
+//!    if they are incomparable it replaces the *worst neighbour* (most
+//!    dominated cell in the neighbourhood),
+//! 4. offer the trial to the external archive (AGA, as used throughout the
+//!    paper).
+//!
+//! After every generation `feedback` random archive members are re-injected
+//! into random cells — the MOCell feedback loop that gives the algorithm
+//! its strong diversity (the paper's spread results for CellDE).
+
+use crate::common::{MoAlgorithm, RunResult};
+use mopt::archive::AgaArchive;
+use mopt::dominance::{constrained_dominance, DominanceOrd};
+use mopt::ops::{de_rand_1_bin, distinct_indices, uniform_init};
+use mopt::problem::Problem;
+use mopt::solution::Candidate;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// CellDE parameters.
+#[derive(Debug, Clone)]
+pub struct CellDeConfig {
+    /// Grid side; population = side².  Paper baseline: 10 (pop 100).
+    pub grid_side: usize,
+    /// Evaluation budget (paper baseline: 25 000).
+    pub max_evaluations: u64,
+    /// DE differential weight `F`.
+    pub de_f: f64,
+    /// DE crossover rate `CR`.
+    pub de_cr: f64,
+    /// External archive capacity.
+    pub archive_capacity: usize,
+    /// Archive members re-injected into the grid per generation.
+    pub feedback: usize,
+}
+
+impl Default for CellDeConfig {
+    fn default() -> Self {
+        Self {
+            grid_side: 10,
+            max_evaluations: 25_000,
+            de_f: 0.5,
+            de_cr: 0.9,
+            archive_capacity: 100,
+            feedback: 20,
+        }
+    }
+}
+
+impl CellDeConfig {
+    /// Reduced-budget configuration for tests/quick experiments.
+    pub fn quick(grid_side: usize, max_evaluations: u64) -> Self {
+        Self {
+            grid_side,
+            max_evaluations,
+            archive_capacity: (grid_side * grid_side).max(20),
+            feedback: (grid_side * grid_side / 5).max(2),
+            ..Self::default()
+        }
+    }
+}
+
+/// The CellDE optimiser.
+#[derive(Debug, Clone, Default)]
+pub struct CellDe {
+    /// Algorithm parameters.
+    pub config: CellDeConfig,
+}
+
+impl CellDe {
+    /// Creates the optimiser with the given configuration.
+    pub fn new(config: CellDeConfig) -> Self {
+        Self { config }
+    }
+
+    /// C9 neighbourhood (8 surrounding cells on the torus), excluding the
+    /// cell itself.
+    fn neighborhood(&self, cell: usize) -> Vec<usize> {
+        let side = self.config.grid_side as isize;
+        let (r, c) = ((cell as isize) / side, (cell as isize) % side);
+        let mut out = Vec::with_capacity(8);
+        for dr in -1..=1 {
+            for dc in -1..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let rr = (r + dr).rem_euclid(side);
+                let cc = (c + dc).rem_euclid(side);
+                out.push((rr * side + cc) as usize);
+            }
+        }
+        out.sort_unstable();
+        out.dedup(); // tiny grids fold neighbours together
+        out
+    }
+}
+
+impl MoAlgorithm for CellDe {
+    fn name(&self) -> &'static str {
+        "CellDE"
+    }
+
+    fn run(&self, problem: &dyn Problem, seed: u64) -> RunResult {
+        let start = Instant::now();
+        let cfg = &self.config;
+        assert!(cfg.grid_side >= 2, "grid must be at least 2×2");
+        let n = cfg.grid_side * cfg.grid_side;
+        let bounds = problem.bounds();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut evals: u64 = 0;
+
+        let mut grid: Vec<Candidate> = (0..n)
+            .map(|_| {
+                evals += 1;
+                problem.make_candidate(uniform_init(bounds, &mut rng))
+            })
+            .collect();
+        let mut archive = AgaArchive::new(cfg.archive_capacity, 5);
+        for c in &grid {
+            archive.try_insert(c.clone());
+        }
+
+        while evals < cfg.max_evaluations {
+            for cell in 0..n {
+                if evals >= cfg.max_evaluations {
+                    break;
+                }
+                let hood = self.neighborhood(cell);
+                // Three distinct donors from the neighbourhood.
+                let picks = distinct_indices(hood.len(), 3.min(hood.len() - 1).max(1), usize::MAX, &mut rng);
+                let r1 = &grid[hood[picks[0]]];
+                let r2 = &grid[hood[picks[1 % picks.len()]]];
+                let r3 = &grid[hood[picks[2 % picks.len()]]];
+                let trial_x = de_rand_1_bin(
+                    &grid[cell].params,
+                    &r1.params,
+                    &r2.params,
+                    &r3.params,
+                    cfg.de_f,
+                    cfg.de_cr,
+                    bounds,
+                    &mut rng,
+                );
+                evals += 1;
+                let trial = problem.make_candidate(trial_x);
+                match constrained_dominance(&trial, &grid[cell]) {
+                    DominanceOrd::Dominates => {
+                        grid[cell] = trial.clone();
+                    }
+                    DominanceOrd::DominatedBy => {}
+                    DominanceOrd::Indifferent => {
+                        // replace the most-dominated neighbour
+                        let worst = hood
+                            .iter()
+                            .copied()
+                            .max_by_key(|&i| {
+                                hood.iter()
+                                    .filter(|&&j| {
+                                        constrained_dominance(&grid[j], &grid[i])
+                                            == DominanceOrd::Dominates
+                                    })
+                                    .count()
+                            })
+                            .unwrap_or(cell);
+                        grid[worst] = trial.clone();
+                    }
+                }
+                archive.try_insert(trial);
+            }
+            // Archive feedback.
+            for _ in 0..cfg.feedback {
+                if let Some(elite) = archive.sample(&mut rng) {
+                    let slot = rng.gen_range(0..n);
+                    grid[slot] = elite.clone();
+                }
+            }
+        }
+
+        let result = RunResult {
+            front: archive.into_members(),
+            evaluations: evals,
+            elapsed: start.elapsed(),
+        };
+        result.sanitize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopt::indicators::hypervolume;
+    use mopt::problem::test_problems::{ConstrainedSchaffer, Schaffer, Zdt1};
+
+    #[test]
+    fn neighborhood_is_c9_on_torus() {
+        let alg = CellDe::new(CellDeConfig::quick(4, 100));
+        let hood = alg.neighborhood(0); // corner cell wraps
+        assert_eq!(hood.len(), 8);
+        assert!(!hood.contains(&0));
+        // includes the opposite corner via wrap-around
+        assert!(hood.contains(&15) || hood.contains(&5));
+    }
+
+    #[test]
+    fn tiny_grid_neighborhood_dedups() {
+        let alg = CellDe::new(CellDeConfig::quick(2, 100));
+        let hood = alg.neighborhood(0);
+        assert!(hood.len() < 8); // folded duplicates removed
+        assert!(!hood.contains(&0));
+    }
+
+    #[test]
+    fn converges_on_schaffer() {
+        let alg = CellDe::new(CellDeConfig::quick(6, 2500));
+        let r = alg.run(&Schaffer::new(), 2);
+        assert!(!r.front.is_empty());
+        let inside = r.front.iter().filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5).count();
+        assert!(inside * 10 >= r.front.len() * 9, "{}/{}", inside, r.front.len());
+    }
+
+    #[test]
+    fn zdt1_reasonable_hypervolume() {
+        let alg = CellDe::new(CellDeConfig::quick(6, 5000));
+        let r = alg.run(&Zdt1::new(8), 7);
+        let hv = hypervolume(&r.objectives(), &[1.1, 1.1]);
+        assert!(hv > 0.55, "hv = {hv}");
+    }
+
+    #[test]
+    fn constraint_handling() {
+        let alg = CellDe::new(CellDeConfig::quick(5, 1500));
+        let r = alg.run(&ConstrainedSchaffer::new(), 3);
+        assert!(r.front.iter().all(|c| c.is_feasible()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let alg = CellDe::new(CellDeConfig::quick(4, 600));
+        let p = Schaffer::new();
+        let a = alg.run(&p, 10);
+        let b = alg.run(&p, 10);
+        assert_eq!(
+            a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
+            b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budget_not_exceeded() {
+        let alg = CellDe::new(CellDeConfig::quick(5, 999));
+        let r = alg.run(&Schaffer::new(), 1);
+        assert!(r.evaluations <= 999, "{}", r.evaluations);
+        assert!(r.evaluations >= 990);
+    }
+
+    #[test]
+    fn archive_bounded() {
+        let mut cfg = CellDeConfig::quick(6, 3000);
+        cfg.archive_capacity = 25;
+        let alg = CellDe::new(cfg);
+        let r = alg.run(&Zdt1::new(4), 5);
+        assert!(r.front.len() <= 25);
+    }
+}

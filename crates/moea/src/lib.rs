@@ -1,0 +1,19 @@
+//! # moea — the paper's baseline multi-objective evolutionary algorithms
+//!
+//! AEDB-MLS is validated against two MOEAs (§VI): **NSGA-II** (Deb et al.
+//! 2002) and **CellDE** (Durillo et al. 2008, a cellular GA with
+//! differential-evolution variation and an external archive). Both are
+//! implemented here from scratch over the `mopt` substrate, with the same
+//! constrained-dominance handling as the rest of the system, so that the
+//! comparison harness can reproduce Table IV, Figures 6–7 and the §VI
+//! domination/runtime analyses.
+
+pub mod cellde;
+pub mod common;
+pub mod mocell;
+pub mod nsga2;
+
+pub use cellde::{CellDe, CellDeConfig};
+pub use common::{MoAlgorithm, RunResult};
+pub use mocell::{MoCell, MoCellConfig};
+pub use nsga2::{Nsga2, Nsga2Config};

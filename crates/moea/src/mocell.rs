@@ -1,0 +1,248 @@
+//! MOCell (Nebro, Durillo, Luna, Dorronsoro, Alba 2007) — the cellular
+//! multi-objective GA that CellDE descends from (CellDE replaces MOCell's
+//! SBX variation with differential evolution). The paper's §VII plans to
+//! parallelise "the cellular multi-objective evolutionary algorithm";
+//! having the SBX-based ancestor alongside CellDE lets the harness compare
+//! the whole cellular family.
+//!
+//! Structure per cell and generation:
+//!
+//! 1. select two parents from the C9 neighbourhood by binary tournament,
+//! 2. SBX crossover + polynomial mutation produce one offspring,
+//! 3. the offspring replaces the incumbent if it constrained-dominates it;
+//!    if they are incomparable it replaces the worst neighbour,
+//! 4. the offspring is offered to a bounded external archive,
+//! 5. after each generation, `feedback` archive members are re-injected
+//!    into random cells.
+
+use crate::common::{MoAlgorithm, RunResult};
+use mopt::archive::AgaArchive;
+use mopt::dominance::{constrained_dominance, DominanceOrd};
+use mopt::ops::{binary_tournament, polynomial_mutation, sbx_crossover, uniform_init};
+use mopt::problem::Problem;
+use mopt::solution::Candidate;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// MOCell parameters.
+#[derive(Debug, Clone)]
+pub struct MoCellConfig {
+    /// Grid side; population = side².
+    pub grid_side: usize,
+    /// Evaluation budget.
+    pub max_evaluations: u64,
+    /// SBX crossover probability.
+    pub crossover_prob: f64,
+    /// SBX distribution index.
+    pub crossover_eta: f64,
+    /// Polynomial-mutation probability per variable; `None` = `1/n`.
+    pub mutation_prob: Option<f64>,
+    /// Polynomial-mutation distribution index.
+    pub mutation_eta: f64,
+    /// External archive capacity.
+    pub archive_capacity: usize,
+    /// Archive members re-injected per generation.
+    pub feedback: usize,
+}
+
+impl Default for MoCellConfig {
+    fn default() -> Self {
+        Self {
+            grid_side: 10,
+            max_evaluations: 25_000,
+            crossover_prob: 0.9,
+            crossover_eta: 20.0,
+            mutation_prob: None,
+            mutation_eta: 20.0,
+            archive_capacity: 100,
+            feedback: 20,
+        }
+    }
+}
+
+impl MoCellConfig {
+    /// Reduced-budget configuration for tests/quick experiments.
+    pub fn quick(grid_side: usize, max_evaluations: u64) -> Self {
+        Self {
+            grid_side,
+            max_evaluations,
+            archive_capacity: (grid_side * grid_side).max(20),
+            feedback: (grid_side * grid_side / 5).max(2),
+            ..Self::default()
+        }
+    }
+}
+
+/// The MOCell optimiser.
+#[derive(Debug, Clone, Default)]
+pub struct MoCell {
+    /// Algorithm parameters.
+    pub config: MoCellConfig,
+}
+
+impl MoCell {
+    /// Creates the optimiser with the given configuration.
+    pub fn new(config: MoCellConfig) -> Self {
+        Self { config }
+    }
+
+    /// C9 neighbourhood on the torus (deduplicated for tiny grids).
+    fn neighborhood(&self, cell: usize) -> Vec<usize> {
+        let side = self.config.grid_side as isize;
+        let (r, c) = ((cell as isize) / side, (cell as isize) % side);
+        let mut out = Vec::with_capacity(8);
+        for dr in -1..=1 {
+            for dc in -1..=1 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let rr = (r + dr).rem_euclid(side);
+                let cc = (c + dc).rem_euclid(side);
+                out.push((rr * side + cc) as usize);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl MoAlgorithm for MoCell {
+    fn name(&self) -> &'static str {
+        "MOCell"
+    }
+
+    fn run(&self, problem: &dyn Problem, seed: u64) -> RunResult {
+        let start = Instant::now();
+        let cfg = &self.config;
+        assert!(cfg.grid_side >= 2);
+        let n = cfg.grid_side * cfg.grid_side;
+        let bounds = problem.bounds();
+        let pm = cfg.mutation_prob.unwrap_or(1.0 / bounds.len() as f64);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut evals: u64 = 0;
+
+        let mut grid: Vec<Candidate> = (0..n)
+            .map(|_| {
+                evals += 1;
+                problem.make_candidate(uniform_init(bounds, &mut rng))
+            })
+            .collect();
+        let mut archive = AgaArchive::new(cfg.archive_capacity, 5);
+        for c in &grid {
+            archive.try_insert(c.clone());
+        }
+
+        while evals < cfg.max_evaluations {
+            for cell in 0..n {
+                if evals >= cfg.max_evaluations {
+                    break;
+                }
+                let hood = self.neighborhood(cell);
+                let hood_pop: Vec<Candidate> = hood.iter().map(|&i| grid[i].clone()).collect();
+                let p1 = binary_tournament(&hood_pop, &mut rng);
+                let p2 = binary_tournament(&hood_pop, &mut rng);
+                let (mut child, _) = sbx_crossover(
+                    &hood_pop[p1].params,
+                    &hood_pop[p2].params,
+                    cfg.crossover_eta,
+                    cfg.crossover_prob,
+                    bounds,
+                    &mut rng,
+                );
+                polynomial_mutation(&mut child, cfg.mutation_eta, pm, bounds, &mut rng);
+                evals += 1;
+                let child = problem.make_candidate(child);
+                match constrained_dominance(&child, &grid[cell]) {
+                    DominanceOrd::Dominates => grid[cell] = child.clone(),
+                    DominanceOrd::DominatedBy => {}
+                    DominanceOrd::Indifferent => {
+                        let worst = hood
+                            .iter()
+                            .copied()
+                            .max_by_key(|&i| {
+                                hood.iter()
+                                    .filter(|&&j| {
+                                        constrained_dominance(&grid[j], &grid[i])
+                                            == DominanceOrd::Dominates
+                                    })
+                                    .count()
+                            })
+                            .unwrap_or(cell);
+                        grid[worst] = child.clone();
+                    }
+                }
+                archive.try_insert(child);
+            }
+            for _ in 0..cfg.feedback {
+                if let Some(elite) = archive.sample(&mut rng) {
+                    let slot = rng.gen_range(0..n);
+                    grid[slot] = elite.clone();
+                }
+            }
+        }
+
+        RunResult { front: archive.into_members(), evaluations: evals, elapsed: start.elapsed() }
+            .sanitize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopt::indicators::hypervolume;
+    use mopt::problem::test_problems::{ConstrainedSchaffer, Schaffer, Zdt1};
+
+    #[test]
+    fn converges_on_schaffer() {
+        let alg = MoCell::new(MoCellConfig::quick(6, 2500));
+        let r = alg.run(&Schaffer::new(), 2);
+        assert!(!r.front.is_empty());
+        let inside = r.front.iter().filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5).count();
+        assert!(inside * 10 >= r.front.len() * 9, "{}/{}", inside, r.front.len());
+    }
+
+    #[test]
+    fn zdt1_reasonable_hypervolume() {
+        let alg = MoCell::new(MoCellConfig::quick(6, 5000));
+        let r = alg.run(&Zdt1::new(8), 7);
+        let hv = hypervolume(&r.objectives(), &[1.1, 1.1]);
+        assert!(hv > 0.55, "hv = {hv}");
+    }
+
+    #[test]
+    fn constraint_handling() {
+        let alg = MoCell::new(MoCellConfig::quick(5, 1500));
+        let r = alg.run(&ConstrainedSchaffer::new(), 3);
+        assert!(r.front.iter().all(|c| c.is_feasible()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let alg = MoCell::new(MoCellConfig::quick(4, 600));
+        let p = Schaffer::new();
+        let a = alg.run(&p, 10);
+        let b = alg.run(&p, 10);
+        assert_eq!(
+            a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
+            b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn budget_not_exceeded() {
+        let alg = MoCell::new(MoCellConfig::quick(5, 999));
+        let r = alg.run(&Schaffer::new(), 1);
+        assert!(r.evaluations <= 999);
+        assert!(r.evaluations >= 990);
+    }
+
+    #[test]
+    fn neighborhood_shape() {
+        let alg = MoCell::new(MoCellConfig::quick(5, 100));
+        let hood = alg.neighborhood(12); // interior cell of a 5×5 grid
+        assert_eq!(hood.len(), 8);
+        assert!(!hood.contains(&12));
+    }
+}

@@ -1,0 +1,258 @@
+//! NSGA-II (Deb, Pratap, Agarwal, Meyarivan 2002) — the first baseline the
+//! paper compares AEDB-MLS against.
+//!
+//! Standard real-coded configuration, as used for the AEDB problem in Ruiz
+//! et al. 2012: population 100, binary tournament on (rank, crowding), SBX
+//! crossover (`pc = 0.9`, `η = 20`), polynomial mutation (`pm = 1/n`,
+//! `η = 20`), μ+λ environmental selection by non-dominated rank and
+//! crowding distance. Constraints use Deb's feasibility-first dominance
+//! throughout (`mopt::dominance`).
+
+use crate::common::{MoAlgorithm, RunResult};
+use mopt::ops::{polynomial_mutation, sbx_crossover, uniform_init};
+use mopt::problem::Problem;
+use mopt::solution::Candidate;
+use mopt::sorting::{crowding_distance, fast_non_dominated_sort, select_by_rank_and_crowding};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// NSGA-II parameters.
+#[derive(Debug, Clone)]
+pub struct Nsga2Config {
+    /// Population size (paper baseline: 100).
+    pub population: usize,
+    /// Evaluation budget (paper baseline: 25 000).
+    pub max_evaluations: u64,
+    /// SBX crossover probability.
+    pub crossover_prob: f64,
+    /// SBX distribution index.
+    pub crossover_eta: f64,
+    /// Polynomial-mutation probability per variable; `None` = `1/n`.
+    pub mutation_prob: Option<f64>,
+    /// Polynomial-mutation distribution index.
+    pub mutation_eta: f64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self {
+            population: 100,
+            max_evaluations: 25_000,
+            crossover_prob: 0.9,
+            crossover_eta: 20.0,
+            mutation_prob: None,
+            mutation_eta: 20.0,
+        }
+    }
+}
+
+impl Nsga2Config {
+    /// A reduced-budget configuration for tests/quick experiments.
+    pub fn quick(population: usize, max_evaluations: u64) -> Self {
+        Self { population, max_evaluations, ..Self::default() }
+    }
+}
+
+/// The NSGA-II optimiser.
+#[derive(Debug, Clone, Default)]
+pub struct Nsga2 {
+    /// Algorithm parameters.
+    pub config: Nsga2Config,
+}
+
+impl Nsga2 {
+    /// Creates the optimiser with the given configuration.
+    pub fn new(config: Nsga2Config) -> Self {
+        Self { config }
+    }
+}
+
+/// Tournament comparator on (rank, crowding): lower rank wins, ties by
+/// larger crowding, further ties at random.
+fn crowded_tournament<R: Rng>(
+    rank: &[usize],
+    crowd: &[f64],
+    rng: &mut R,
+) -> usize {
+    let n = rank.len();
+    let a = rng.gen_range(0..n);
+    let b = rng.gen_range(0..n);
+    if rank[a] != rank[b] {
+        if rank[a] < rank[b] {
+            a
+        } else {
+            b
+        }
+    } else if crowd[a] != crowd[b] {
+        if crowd[a] > crowd[b] {
+            a
+        } else {
+            b
+        }
+    } else if rng.gen::<bool>() {
+        a
+    } else {
+        b
+    }
+}
+
+impl MoAlgorithm for Nsga2 {
+    fn name(&self) -> &'static str {
+        "NSGAII"
+    }
+
+    fn run(&self, problem: &dyn Problem, seed: u64) -> RunResult {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let bounds = problem.bounds();
+        let nvar = bounds.len();
+        let pm = cfg.mutation_prob.unwrap_or(1.0 / nvar as f64);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut evals: u64 = 0;
+
+        // Initial population.
+        let mut pop: Vec<Candidate> = (0..cfg.population)
+            .map(|_| {
+                evals += 1;
+                problem.make_candidate(uniform_init(bounds, &mut rng))
+            })
+            .collect();
+
+        while evals < cfg.max_evaluations {
+            // Rank/crowding of the current population for selection.
+            let fronts = fast_non_dominated_sort(&pop);
+            let mut rank = vec![0usize; pop.len()];
+            let mut crowd = vec![0.0f64; pop.len()];
+            for (r, front) in fronts.iter().enumerate() {
+                let cd = crowding_distance(&pop, front);
+                for (k, &i) in front.iter().enumerate() {
+                    rank[i] = r;
+                    crowd[i] = cd[k];
+                }
+            }
+
+            // Offspring generation (λ = μ).
+            let mut offspring = Vec::with_capacity(cfg.population);
+            while offspring.len() < cfg.population && evals < cfg.max_evaluations {
+                let p1 = crowded_tournament(&rank, &crowd, &mut rng);
+                let p2 = crowded_tournament(&rank, &crowd, &mut rng);
+                let (mut c1, mut c2) = sbx_crossover(
+                    &pop[p1].params,
+                    &pop[p2].params,
+                    cfg.crossover_eta,
+                    cfg.crossover_prob,
+                    bounds,
+                    &mut rng,
+                );
+                polynomial_mutation(&mut c1, cfg.mutation_eta, pm, bounds, &mut rng);
+                polynomial_mutation(&mut c2, cfg.mutation_eta, pm, bounds, &mut rng);
+                for child in [c1, c2] {
+                    if offspring.len() < cfg.population && evals < cfg.max_evaluations {
+                        evals += 1;
+                        offspring.push(problem.make_candidate(child));
+                    }
+                }
+            }
+
+            // μ+λ environmental selection.
+            pop.extend(offspring);
+            let chosen = select_by_rank_and_crowding(&pop, cfg.population);
+            let mut next = Vec::with_capacity(cfg.population);
+            for i in chosen {
+                next.push(pop[i].clone());
+            }
+            pop = next;
+        }
+
+        let result = RunResult { front: pop, evaluations: evals, elapsed: start.elapsed() };
+        result.sanitize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopt::indicators::hypervolume;
+    use mopt::problem::test_problems::{ConstrainedSchaffer, Schaffer, Zdt1};
+
+    #[test]
+    fn converges_on_schaffer() {
+        let alg = Nsga2::new(Nsga2Config::quick(40, 2000));
+        let r = alg.run(&Schaffer::new(), 1);
+        assert!(!r.front.is_empty());
+        assert_eq!(r.evaluations, 2000);
+        // Pareto set is x in [0,2]: most solutions should be close.
+        let inside = r.front.iter().filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5).count();
+        assert!(
+            inside * 10 >= r.front.len() * 9,
+            "{} of {} near the Pareto set",
+            inside,
+            r.front.len()
+        );
+    }
+
+    #[test]
+    fn zdt1_hypervolume_improves_with_budget() {
+        let problem = Zdt1::new(8);
+        let hv_for = |evals| {
+            let alg = Nsga2::new(Nsga2Config::quick(32, evals));
+            let r = alg.run(&problem, 3);
+            hypervolume(&r.objectives(), &[1.1, 1.1])
+        };
+        let small = hv_for(500);
+        let large = hv_for(4000);
+        assert!(large > small, "hv {large} should beat {small}");
+        // theoretical optimum for ZDT1 with ref (1.1,1.1) is ≈ 0.87
+        assert!(large > 0.6, "hv = {large}");
+    }
+
+    #[test]
+    fn respects_constraints() {
+        let alg = Nsga2::new(Nsga2Config::quick(30, 1500));
+        let r = alg.run(&ConstrainedSchaffer::new(), 5);
+        assert!(r.front.iter().all(|c| c.is_feasible()));
+        // feasible region is x >= 0.5 => f1 >= 0.25
+        assert!(r.front.iter().all(|c| c.objectives[0] >= 0.25 - 1e-9));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let alg = Nsga2::new(Nsga2Config::quick(20, 600));
+        let p = Schaffer::new();
+        let a = alg.run(&p, 42);
+        let b = alg.run(&p, 42);
+        let pa: Vec<_> = a.front.iter().map(|c| c.params.clone()).collect();
+        let pb: Vec<_> = b.front.iter().map(|c| c.params.clone()).collect();
+        assert_eq!(pa, pb);
+        let c = alg.run(&p, 43);
+        assert_ne!(
+            a.front.iter().map(|x| x.objectives.clone()).collect::<Vec<_>>(),
+            c.front.iter().map(|x| x.objectives.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn evaluation_budget_respected_exactly() {
+        let alg = Nsga2::new(Nsga2Config::quick(25, 777));
+        let r = alg.run(&Schaffer::new(), 9);
+        assert_eq!(r.evaluations, 777);
+    }
+
+    #[test]
+    fn front_is_mutually_nondominated() {
+        use mopt::dominance::{constrained_dominance, DominanceOrd};
+        let alg = Nsga2::new(Nsga2Config::quick(30, 1200));
+        let r = alg.run(&Zdt1::new(5), 11);
+        for i in 0..r.front.len() {
+            for j in 0..r.front.len() {
+                if i != j {
+                    assert_ne!(
+                        constrained_dominance(&r.front[j], &r.front[i]),
+                        DominanceOrd::Dominates
+                    );
+                }
+            }
+        }
+    }
+}

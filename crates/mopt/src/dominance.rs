@@ -1,0 +1,165 @@
+//! Pareto dominance with Deb's feasibility-first constraint handling.
+//!
+//! The paper restricts solutions with broadcast time ≥ 2 s; its acceptance
+//! rule ("if sˆ is feasible … store in archive") and the MOEAs it compares
+//! against both use the standard constrained-domination principle
+//! (Deb 2002): any feasible solution dominates any infeasible one; two
+//! infeasible solutions are ordered by violation; two feasible ones by
+//! Pareto dominance over the (minimisation-form) objectives.
+
+use crate::solution::Candidate;
+use std::cmp::Ordering;
+
+/// Outcome of a constrained-dominance comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DominanceOrd {
+    /// The first solution dominates the second.
+    Dominates,
+    /// The second solution dominates the first.
+    DominatedBy,
+    /// Neither dominates (incomparable or identical).
+    Indifferent,
+}
+
+/// Plain (unconstrained) Pareto dominance over minimisation objectives.
+///
+/// Returns [`DominanceOrd::Dominates`] iff `a` is no worse in all objectives
+/// and strictly better in at least one.
+pub fn pareto_dominance(a: &[f64], b: &[f64]) -> DominanceOrd {
+    debug_assert_eq!(a.len(), b.len(), "objective dimension mismatch");
+    let mut a_better = false;
+    let mut b_better = false;
+    for (x, y) in a.iter().zip(b) {
+        match x.partial_cmp(y) {
+            Some(Ordering::Less) => a_better = true,
+            Some(Ordering::Greater) => b_better = true,
+            Some(Ordering::Equal) => {}
+            // NaN makes the pair incomparable; treat conservatively.
+            None => return DominanceOrd::Indifferent,
+        }
+        if a_better && b_better {
+            return DominanceOrd::Indifferent;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DominanceOrd::Dominates,
+        (false, true) => DominanceOrd::DominatedBy,
+        _ => DominanceOrd::Indifferent,
+    }
+}
+
+/// Constrained dominance between two evaluated candidates.
+pub fn constrained_dominance(a: &Candidate, b: &Candidate) -> DominanceOrd {
+    match (a.is_feasible(), b.is_feasible()) {
+        (true, false) => DominanceOrd::Dominates,
+        (false, true) => DominanceOrd::DominatedBy,
+        (false, false) => match a.violation.partial_cmp(&b.violation) {
+            Some(Ordering::Less) => DominanceOrd::Dominates,
+            Some(Ordering::Greater) => DominanceOrd::DominatedBy,
+            _ => DominanceOrd::Indifferent,
+        },
+        (true, true) => pareto_dominance(&a.objectives, &b.objectives),
+    }
+}
+
+/// Convenience predicate: does `a` (constrained-)dominate `b`?
+pub fn dominates(a: &Candidate, b: &Candidate) -> bool {
+    constrained_dominance(a, b) == DominanceOrd::Dominates
+}
+
+/// Extracts the non-dominated subset of `set` under constrained dominance.
+///
+/// Ties (duplicate objective vectors) are all kept. O(n²·m); the fronts in
+/// this reproduction have at most a few hundred points.
+pub fn non_dominated(set: &[Candidate]) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    'outer: for (i, a) in set.iter().enumerate() {
+        for (j, b) in set.iter().enumerate() {
+            if i != j && constrained_dominance(b, a) == DominanceOrd::Dominates {
+                continue 'outer;
+            }
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+/// Counts, for each solution in `front`, whether it is dominated by at
+/// least one solution of `other`; returns the number of such solutions.
+///
+/// This is the paper's §VI cross-domination count ("AEDB-MLS dominates 13
+/// solutions of the Reference Pareto front … is dominated by 54 …").
+pub fn count_dominated_by(front: &[Candidate], other: &[Candidate]) -> usize {
+    front
+        .iter()
+        .filter(|a| other.iter().any(|b| constrained_dominance(b, a) == DominanceOrd::Dominates))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(obj: &[f64], v: f64) -> Candidate {
+        Candidate::evaluated(vec![], obj.to_vec(), v)
+    }
+
+    #[test]
+    fn plain_dominance_cases() {
+        assert_eq!(pareto_dominance(&[1.0, 1.0], &[2.0, 2.0]), DominanceOrd::Dominates);
+        assert_eq!(pareto_dominance(&[2.0, 2.0], &[1.0, 1.0]), DominanceOrd::DominatedBy);
+        assert_eq!(pareto_dominance(&[1.0, 2.0], &[2.0, 1.0]), DominanceOrd::Indifferent);
+        assert_eq!(pareto_dominance(&[1.0, 1.0], &[1.0, 1.0]), DominanceOrd::Indifferent);
+        // weak dominance: equal in one, better in the other
+        assert_eq!(pareto_dominance(&[1.0, 1.0], &[1.0, 2.0]), DominanceOrd::Dominates);
+    }
+
+    #[test]
+    fn nan_is_indifferent() {
+        assert_eq!(pareto_dominance(&[f64::NAN], &[1.0]), DominanceOrd::Indifferent);
+    }
+
+    #[test]
+    fn feasible_beats_infeasible() {
+        let good = cand(&[100.0, 100.0], 0.0);
+        let bad = cand(&[0.0, 0.0], 0.1);
+        assert_eq!(constrained_dominance(&good, &bad), DominanceOrd::Dominates);
+        assert_eq!(constrained_dominance(&bad, &good), DominanceOrd::DominatedBy);
+    }
+
+    #[test]
+    fn infeasible_ordered_by_violation() {
+        let a = cand(&[5.0, 5.0], 0.1);
+        let b = cand(&[0.0, 0.0], 0.2);
+        assert_eq!(constrained_dominance(&a, &b), DominanceOrd::Dominates);
+    }
+
+    #[test]
+    fn non_dominated_filters() {
+        let set = vec![
+            cand(&[1.0, 3.0], 0.0),
+            cand(&[2.0, 2.0], 0.0),
+            cand(&[3.0, 1.0], 0.0),
+            cand(&[3.0, 3.0], 0.0), // dominated by the middle point
+        ];
+        let nd = non_dominated(&set);
+        assert_eq!(nd.len(), 3);
+        assert!(nd.iter().all(|c| c.objectives != vec![3.0, 3.0]));
+    }
+
+    #[test]
+    fn duplicates_survive_non_dominated() {
+        let set = vec![cand(&[1.0, 1.0], 0.0), cand(&[1.0, 1.0], 0.0)];
+        assert_eq!(non_dominated(&set).len(), 2);
+    }
+
+    #[test]
+    fn cross_domination_count() {
+        let ours = vec![cand(&[2.0, 2.0], 0.0), cand(&[0.0, 5.0], 0.0)];
+        let reference = vec![cand(&[1.0, 1.0], 0.0), cand(&[5.0, 0.0], 0.0)];
+        // ours[0] is dominated by reference[0]; ours[1] by nobody
+        assert_eq!(count_dominated_by(&ours, &reference), 1);
+        // reference points are dominated by nobody in ours
+        assert_eq!(count_dominated_by(&reference, &ours), 0);
+    }
+}

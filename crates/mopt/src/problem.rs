@@ -1,0 +1,275 @@
+//! The [`Problem`] trait: anything that can evaluate a decision vector.
+//!
+//! The AEDB tuning problem of the paper (Eq. 1) implements this trait in the
+//! `aedb` crate: five decision variables, three objectives (energy,
+//! −coverage, forwardings) and the broadcast-time constraint condensed into
+//! a violation scalar.
+
+use crate::solution::{Bounds, Candidate};
+
+/// Result of evaluating one decision vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Objective values in minimisation form.
+    pub objectives: Vec<f64>,
+    /// Aggregate constraint violation (`0.0` = feasible).
+    pub violation: f64,
+}
+
+impl Evaluation {
+    /// Creates a feasible evaluation.
+    pub fn feasible(objectives: Vec<f64>) -> Self {
+        Self { objectives, violation: 0.0 }
+    }
+
+    /// Creates an evaluation with the given constraint violation.
+    pub fn with_violation(objectives: Vec<f64>, violation: f64) -> Self {
+        assert!(violation >= 0.0 && violation.is_finite(), "bad violation {violation}");
+        Self { objectives, violation }
+    }
+}
+
+/// A continuous, box-bounded, constrained multi-objective problem.
+///
+/// Implementations must be [`Sync`] because the paper's algorithms evaluate
+/// candidates from many threads concurrently.
+pub trait Problem: Sync {
+    /// Decision-space bounds (defines the number of variables).
+    fn bounds(&self) -> &Bounds;
+
+    /// Number of objectives.
+    fn n_objectives(&self) -> usize;
+
+    /// Evaluates a decision vector. `x.len()` must equal `bounds().len()`.
+    fn evaluate(&self, x: &[f64]) -> Evaluation;
+
+    /// Human-readable names of the objectives (minimisation form), used by
+    /// the experiment harness when printing tables.
+    fn objective_names(&self) -> Vec<String> {
+        (0..self.n_objectives()).map(|i| format!("f{i}")).collect()
+    }
+
+    /// Convenience: evaluates `x` and assembles a [`Candidate`].
+    fn make_candidate(&self, x: Vec<f64>) -> Candidate {
+        let ev = self.evaluate(&x);
+        Candidate::evaluated(x, ev.objectives, ev.violation)
+    }
+}
+
+/// Blanket impl so `&P`, `Box<P>`, `Arc<P>` can be passed where a
+/// [`Problem`] is expected.
+impl<P: Problem + ?Sized> Problem for &P {
+    fn bounds(&self) -> &Bounds {
+        (**self).bounds()
+    }
+    fn n_objectives(&self) -> usize {
+        (**self).n_objectives()
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        (**self).evaluate(x)
+    }
+    fn objective_names(&self) -> Vec<String> {
+        (**self).objective_names()
+    }
+}
+
+impl<P: Problem + ?Sized + Send> Problem for std::sync::Arc<P> {
+    fn bounds(&self) -> &Bounds {
+        (**self).bounds()
+    }
+    fn n_objectives(&self) -> usize {
+        (**self).n_objectives()
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        (**self).evaluate(x)
+    }
+    fn objective_names(&self) -> Vec<String> {
+        (**self).objective_names()
+    }
+}
+
+/// A thread-safe evaluation counter, wrapped around a [`Problem`].
+///
+/// The paper's stopping criterion is a fixed number of solution evaluations
+/// (250 per thread, 24 000 per run); this adaptor lets any algorithm track
+/// them without cooperation from the problem.
+pub struct CountingProblem<P> {
+    inner: P,
+    count: std::sync::atomic::AtomicU64,
+}
+
+impl<P: Problem> CountingProblem<P> {
+    /// Wraps `inner`, starting the counter at zero.
+    pub fn new(inner: P) -> Self {
+        Self { inner, count: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Number of `evaluate` calls so far.
+    pub fn evaluations(&self) -> u64 {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Consumes the wrapper, returning the inner problem.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Problem> Problem for CountingProblem<P> {
+    fn bounds(&self) -> &Bounds {
+        self.inner.bounds()
+    }
+    fn n_objectives(&self) -> usize {
+        self.inner.n_objectives()
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.inner.evaluate(x)
+    }
+    fn objective_names(&self) -> Vec<String> {
+        self.inner.objective_names()
+    }
+}
+
+/// Classic bi-objective test problems used by the unit/property tests of the
+/// algorithm crates. They are cheap, have known Pareto fronts, and exercise
+/// the same code paths as the (expensive) AEDB simulation problem.
+pub mod test_problems {
+    use super::*;
+
+    /// The Schaffer problem: `f1 = x²`, `f2 = (x-2)²`, `x ∈ [-1000, 1000]`.
+    /// Pareto-optimal set: `x ∈ [0, 2]`.
+    pub struct Schaffer {
+        bounds: Bounds,
+    }
+
+    impl Schaffer {
+        /// Creates the standard instance.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self { bounds: Bounds::new(vec![(-1000.0, 1000.0)]) }
+        }
+    }
+
+    impl Problem for Schaffer {
+        fn bounds(&self) -> &Bounds {
+            &self.bounds
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, x: &[f64]) -> Evaluation {
+            let x = x[0];
+            Evaluation::feasible(vec![x * x, (x - 2.0) * (x - 2.0)])
+        }
+    }
+
+    /// ZDT1: n-variable bi-objective benchmark with a convex front
+    /// `f2 = 1 - sqrt(f1)` at `g = 1`.
+    pub struct Zdt1 {
+        bounds: Bounds,
+    }
+
+    impl Zdt1 {
+        /// Creates an instance with `n` variables (`n >= 2`).
+        pub fn new(n: usize) -> Self {
+            assert!(n >= 2);
+            Self { bounds: Bounds::new(vec![(0.0, 1.0); n]) }
+        }
+    }
+
+    impl Problem for Zdt1 {
+        fn bounds(&self) -> &Bounds {
+            &self.bounds
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, x: &[f64]) -> Evaluation {
+            let n = x.len();
+            let f1 = x[0];
+            let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (n as f64 - 1.0);
+            let f2 = g * (1.0 - (f1 / g).sqrt());
+            Evaluation::feasible(vec![f1, f2])
+        }
+    }
+
+    /// A constrained variant of Schaffer used to test feasibility-first
+    /// dominance: solutions with `x < 0.5` violate the constraint by
+    /// `0.5 - x`.
+    pub struct ConstrainedSchaffer {
+        bounds: Bounds,
+    }
+
+    impl ConstrainedSchaffer {
+        /// Creates the standard instance.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self { bounds: Bounds::new(vec![(-1000.0, 1000.0)]) }
+        }
+    }
+
+    impl Problem for ConstrainedSchaffer {
+        fn bounds(&self) -> &Bounds {
+            &self.bounds
+        }
+        fn n_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, x: &[f64]) -> Evaluation {
+            let v = (0.5 - x[0]).max(0.0);
+            let x = x[0];
+            Evaluation::with_violation(vec![x * x, (x - 2.0) * (x - 2.0)], v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_problems::*;
+    use super::*;
+
+    #[test]
+    fn schaffer_known_values() {
+        let p = Schaffer::new();
+        let ev = p.evaluate(&[0.0]);
+        assert_eq!(ev.objectives, vec![0.0, 4.0]);
+        let ev = p.evaluate(&[2.0]);
+        assert_eq!(ev.objectives, vec![4.0, 0.0]);
+        assert!(ev.violation == 0.0);
+    }
+
+    #[test]
+    fn zdt1_front_at_g1() {
+        let p = Zdt1::new(5);
+        // x2..x5 = 0 => g = 1 => f2 = 1 - sqrt(f1)
+        let ev = p.evaluate(&[0.25, 0.0, 0.0, 0.0, 0.0]);
+        assert!((ev.objectives[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counting_problem_counts() {
+        let p = CountingProblem::new(Schaffer::new());
+        assert_eq!(p.evaluations(), 0);
+        let _ = p.evaluate(&[1.0]);
+        let _ = p.evaluate(&[1.0]);
+        assert_eq!(p.evaluations(), 2);
+    }
+
+    #[test]
+    fn make_candidate_populates_fields() {
+        let p = ConstrainedSchaffer::new();
+        let c = p.make_candidate(vec![0.0]);
+        assert!(c.is_evaluated());
+        assert!(!c.is_feasible());
+        assert_eq!(c.objectives.len(), 2);
+    }
+
+    #[test]
+    fn reference_impl_forwards() {
+        let p = Schaffer::new();
+        let r: &dyn Problem = &p;
+        assert_eq!((&r).n_objectives(), 2);
+        assert_eq!(Problem::bounds(&&p).len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Fast non-dominated sorting and crowding distance (Deb et al. 2002).
+//!
+//! These are the ranking machinery of NSGA-II and the replacement policy of
+//! CellDE's archive in the paper's baselines.
+
+use crate::dominance::{constrained_dominance, DominanceOrd};
+use crate::solution::Candidate;
+
+/// Partitions `pop` (by index) into fronts `F0, F1, …` where `F0` is the
+/// non-dominated set, `F1` is non-dominated once `F0` is removed, and so on.
+///
+/// Uses the O(n²·m) bookkeeping algorithm from the NSGA-II paper.
+pub fn fast_non_dominated_sort(pop: &[Candidate]) -> Vec<Vec<usize>> {
+    let n = pop.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[i]: indices that i dominates; counts[i]: #solutions dominating i.
+    let mut dominated: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut counts = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match constrained_dominance(&pop[i], &pop[j]) {
+                DominanceOrd::Dominates => {
+                    dominated[i].push(j);
+                    counts[j] += 1;
+                }
+                DominanceOrd::DominatedBy => {
+                    dominated[j].push(i);
+                    counts[i] += 1;
+                }
+                DominanceOrd::Indifferent => {}
+            }
+        }
+    }
+    let mut fronts = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| counts[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated[i] {
+                counts[j] -= 1;
+                if counts[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::replace(&mut current, next));
+    }
+    fronts
+}
+
+/// Crowding distance of every member of a single front (given by indices
+/// into `pop`). Boundary solutions of every objective get `f64::INFINITY`.
+pub fn crowding_distance(pop: &[Candidate], front: &[usize]) -> Vec<f64> {
+    let k = front.len();
+    let mut dist = vec![0.0f64; k];
+    if k == 0 {
+        return dist;
+    }
+    if k <= 2 {
+        return vec![f64::INFINITY; k];
+    }
+    let m = pop[front[0]].objectives.len();
+    let mut order: Vec<usize> = (0..k).collect();
+    for obj in 0..m {
+        order.sort_by(|&a, &b| {
+            pop[front[a]].objectives[obj].total_cmp(&pop[front[b]].objectives[obj])
+        });
+        let fmin = pop[front[order[0]]].objectives[obj];
+        let fmax = pop[front[order[k - 1]]].objectives[obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[k - 1]] = f64::INFINITY;
+        let range = fmax - fmin;
+        if range <= 0.0 {
+            continue;
+        }
+        for w in 1..k - 1 {
+            let prev = pop[front[order[w - 1]]].objectives[obj];
+            let next = pop[front[order[w + 1]]].objectives[obj];
+            dist[order[w]] += (next - prev) / range;
+        }
+    }
+    dist
+}
+
+/// Selects the `n` best candidates of `pop` by (rank, crowding) — the
+/// NSGA-II environmental selection. Returns indices into `pop`.
+pub fn select_by_rank_and_crowding(pop: &[Candidate], n: usize) -> Vec<usize> {
+    let fronts = fast_non_dominated_sort(pop);
+    let mut chosen = Vec::with_capacity(n);
+    for front in fronts {
+        if chosen.len() + front.len() <= n {
+            chosen.extend_from_slice(&front);
+            if chosen.len() == n {
+                break;
+            }
+        } else {
+            let dist = crowding_distance(pop, &front);
+            let mut order: Vec<usize> = (0..front.len()).collect();
+            order.sort_by(|&a, &b| dist[b].total_cmp(&dist[a]));
+            for &w in order.iter().take(n - chosen.len()) {
+                chosen.push(front[w]);
+            }
+            break;
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(obj: &[f64]) -> Candidate {
+        Candidate::evaluated(vec![], obj.to_vec(), 0.0)
+    }
+
+    #[test]
+    fn sorts_into_expected_fronts() {
+        // Front 0: (1,3),(2,2),(3,1); Front 1: (3,3); Front 2: (4,4)
+        let pop = vec![cand(&[1.0, 3.0]), cand(&[2.0, 2.0]), cand(&[3.0, 1.0]),
+                       cand(&[3.0, 3.0]), cand(&[4.0, 4.0])];
+        let fronts = fast_non_dominated_sort(&pop);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0].len(), 3);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn empty_population() {
+        assert!(fast_non_dominated_sort(&[]).is_empty());
+    }
+
+    #[test]
+    fn all_mutually_nondominated_single_front() {
+        let pop = vec![cand(&[1.0, 4.0]), cand(&[2.0, 3.0]), cand(&[3.0, 2.0]), cand(&[4.0, 1.0])];
+        let fronts = fast_non_dominated_sort(&pop);
+        assert_eq!(fronts.len(), 1);
+        assert_eq!(fronts[0].len(), 4);
+    }
+
+    #[test]
+    fn infeasible_pushed_to_later_fronts() {
+        let mut bad = cand(&[0.0, 0.0]);
+        bad.violation = 1.0;
+        let pop = vec![cand(&[5.0, 5.0]), bad];
+        let fronts = fast_non_dominated_sort(&pop);
+        assert_eq!(fronts[0], vec![0]);
+        assert_eq!(fronts[1], vec![1]);
+    }
+
+    #[test]
+    fn crowding_boundaries_infinite() {
+        let pop = vec![cand(&[0.0, 4.0]), cand(&[1.0, 2.0]), cand(&[2.0, 1.0]), cand(&[4.0, 0.0])];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pop, &front);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        let pop = vec![cand(&[0.0, 1.0]), cand(&[1.0, 0.0])];
+        let d = crowding_distance(&pop, &[0, 1]);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn crowding_degenerate_objective_range() {
+        // all identical in objective 0 => that objective contributes nothing
+        let pop = vec![cand(&[1.0, 3.0]), cand(&[1.0, 2.0]), cand(&[1.0, 1.0])];
+        let d = crowding_distance(&pop, &[0, 1, 2]);
+        assert!(d[0].is_infinite() && d[2].is_infinite());
+        assert!(d[1].is_finite());
+    }
+
+    #[test]
+    fn selection_prefers_lower_ranks_then_spread() {
+        let pop = vec![
+            cand(&[1.0, 3.0]), cand(&[2.0, 2.0]), cand(&[3.0, 1.0]), // front 0
+            cand(&[5.0, 5.0]),                                        // front 1
+        ];
+        let sel = select_by_rank_and_crowding(&pop, 3);
+        assert_eq!(sel.len(), 3);
+        assert!(!sel.contains(&3));
+        // asking for everything returns everything
+        let sel = select_by_rank_and_crowding(&pop, 4);
+        assert_eq!(sel.len(), 4);
+    }
+
+    #[test]
+    fn selection_truncates_within_front_by_crowding() {
+        // 5 points on a line; middle points have lowest crowding
+        let pop = vec![cand(&[0.0, 4.0]), cand(&[1.0, 3.0]), cand(&[2.0, 2.0]),
+                       cand(&[3.0, 1.0]), cand(&[4.0, 0.0])];
+        let sel = select_by_rank_and_crowding(&pop, 2);
+        // must keep the two extremes (infinite crowding)
+        assert!(sel.contains(&0) && sel.contains(&4));
+    }
+}

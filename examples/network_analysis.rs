@@ -1,0 +1,49 @@
+//! Network analysis: inspect the fixed evaluation networks of the paper —
+//! connectivity at broadcast time, coverage ceilings, and how a single
+//! AEDB dissemination relates to them.
+//!
+//! ```sh
+//! cargo run --release --example network_analysis
+//! ```
+
+use aedb_repro::prelude::*;
+use manet::analysis::connectivity_stats;
+use manet::sim::Simulator;
+
+fn main() {
+    for density in Density::ALL {
+        let scenario = Scenario::quick(density, 3);
+        println!("== {density} ==");
+        for k in 0..scenario.n_networks {
+            // Snapshot the topology at broadcast time (t = 30 s).
+            let cfg = scenario.sim_config(k);
+            let radio = cfg.radio;
+            let mut sim = Simulator::new(cfg, SourceOnly);
+            sim.run_until(30.0);
+            let pos = sim.positions_at(30.0);
+            let stats = connectivity_stats(&pos, &radio);
+
+            // Run AEDB (hand-tuned) on the same network.
+            let cfg = scenario.sim_config(k);
+            let n = cfg.n_nodes;
+            let report =
+                Simulator::new(cfg, Aedb::new(n, AedbParams::default_config())).run();
+
+            println!(
+                "  network {k}: degree {:5.2} | components {} | source-component {:2} \
+                 | AEDB coverage {:2} ({:4.0}% of ceiling), forwardings {:2}, bt {:.2} s",
+                stats.mean_degree,
+                stats.n_components,
+                stats.source_component,
+                report.broadcast.coverage(),
+                100.0 * report.broadcast.coverage() as f64
+                    / stats.source_component.max(1) as f64,
+                report.broadcast.forwardings,
+                report.broadcast.broadcast_time(),
+            );
+        }
+        println!();
+    }
+    println!("the source's connected component bounds what ANY protocol can cover;");
+    println!("AEDB trades some of that ceiling for large energy savings (§III).");
+}

@@ -1,0 +1,64 @@
+//! # aedb-repro — reproduction of *"A Parallel Multi-objective Local Search
+//! for AEDB Protocol Tuning"* (Iturriaga, Ruiz, Nesmachnow, Dorronsoro,
+//! Bouvry; IPDPS Workshops 2013)
+//!
+//! This façade crate re-exports the whole system so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`manet`] — discrete-event MANET simulator (the ns-3 substitute),
+//! * [`aedb`] — the AEDB broadcast protocol and its tuning problem,
+//! * [`mopt`] — multi-objective optimisation substrate (dominance, AGA
+//!   archive, quality indicators, operators, statistics),
+//! * [`moea`] — the NSGA-II and CellDE baselines,
+//! * [`mls`] — AEDB-MLS, the paper's parallel multi-objective local search,
+//! * [`fast99`] — the FAST99 global sensitivity analysis.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use aedb_repro::prelude::*;
+//!
+//! // The tuning problem: density 100 dev/km², the paper's 10 fixed networks.
+//! let problem = AedbProblem::paper(Scenario::paper(Density::D100));
+//!
+//! // AEDB-MLS with a laptop-sized budget (2 populations × 2 threads).
+//! let mls = Mls::new(MlsConfig::quick(2, 2, 250));
+//! let result = mls.optimize(&problem, 42);
+//!
+//! for c in &result.front {
+//!     let p = AedbParams::from_vec(&c.params);
+//!     println!("{:?} -> energy {:.1} dBm, coverage {:.1}, forwardings {:.1}",
+//!              p, c.objectives[0], -c.objectives[1], c.objectives[2]);
+//! }
+//! ```
+
+pub use aedb;
+pub use aedb_mls as mls;
+pub use fast99;
+pub use manet;
+pub use moea;
+pub use mopt;
+
+/// One-stop imports for examples and quick experiments.
+pub mod prelude {
+    pub use aedb::params::AedbParams;
+    pub use aedb::problem::{AedbOutcome, AedbProblem};
+    pub use aedb::protocol::Aedb;
+    pub use aedb::scenario::{Density, Scenario};
+    pub use aedb_mls::criteria::SearchCriteria;
+    pub use aedb_mls::hybrid::{CellDeMls, CellDeMlsConfig};
+    pub use aedb_mls::mls::{AcceptanceRule, ArchiveKind, CriteriaChoice, Mls, MlsConfig, MlsResult};
+    pub use fast99::{Fast99, Indices};
+    pub use manet::protocol::{Flooding, Protocol, ProtocolApi, SourceOnly};
+    pub use manet::sim::{SimConfig, SimReport, Simulator};
+    pub use moea::cellde::{CellDe, CellDeConfig};
+    pub use moea::nsga2::{Nsga2, Nsga2Config};
+    pub use mopt::algorithm::{MoAlgorithm, RunResult};
+    pub use mopt::archive::AgaArchive;
+    pub use mopt::indicators::{
+        generalized_spread, hypervolume, inverted_generational_distance, Normalizer,
+    };
+    pub use mopt::problem::{Evaluation, Problem};
+    pub use mopt::solution::{Bounds, Candidate};
+    pub use mopt::stats::{boxplot, wilcoxon_rank_sum};
+}

@@ -1,0 +1,65 @@
+//! Reproducibility guarantees across the whole stack — the paper's
+//! protocol ("these 10 networks are always the same for evaluating every
+//! solution") depends on them.
+
+use aedb_repro::prelude::*;
+
+#[test]
+fn fixed_networks_are_bitwise_stable() {
+    let scenario = Scenario::paper(Density::D100);
+    let p = AedbParams::default_config();
+    let problem = AedbProblem::paper(Scenario::quick(Density::D100, 3));
+    // simulate the same network twice -> identical observables
+    let a = problem.simulate_one(p, 0);
+    let b = problem.simulate_one(p, 0);
+    assert_eq!(a, b);
+    // distinct networks -> (almost surely) different observables
+    let c = problem.simulate_one(p, 1);
+    assert_ne!(a, c, "different seeds should give different networks");
+    // the seed schedule itself is stable
+    assert_eq!(scenario.network_seed(3), scenario.network_seed(3));
+}
+
+#[test]
+fn nsga2_runs_are_reproducible_on_aedb() {
+    let problem = AedbProblem::paper(Scenario::quick(Density::D100, 2));
+    let alg = Nsga2::new(Nsga2Config { population: 8, max_evaluations: 48, ..Default::default() });
+    let a = alg.run(&problem, 77);
+    let b = alg.run(&problem, 77);
+    assert_eq!(
+        a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
+        b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn cellde_runs_are_reproducible_on_aedb() {
+    let problem = AedbProblem::paper(Scenario::quick(Density::D100, 2));
+    let alg = CellDe::new(CellDeConfig { grid_side: 3, max_evaluations: 48, ..Default::default() });
+    let a = alg.run(&problem, 5);
+    let b = alg.run(&problem, 5);
+    assert_eq!(
+        a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
+        b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn single_thread_mls_is_reproducible_on_aedb() {
+    let problem = AedbProblem::paper(Scenario::quick(Density::D100, 2));
+    let mls = Mls::new(MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::quick(1, 1, 40) });
+    let a = mls.optimize(&problem, 31);
+    let b = mls.optimize(&problem, 31);
+    assert_eq!(
+        a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
+        b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fast99_design_is_reproducible() {
+    let f = Fast99::new(5, 129);
+    assert_eq!(f.design(2), f.design(2));
+    let g = Fast99::new(5, 129);
+    assert_eq!(f.design(4), g.design(4));
+}

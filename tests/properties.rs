@@ -1,0 +1,201 @@
+//! Cross-crate property-based tests (proptest): invariants of the archive,
+//! dominance relation, indicators, operators and the simulator geometry
+//! under randomised inputs.
+
+use aedb_repro::prelude::*;
+use mopt::dominance::{constrained_dominance, pareto_dominance, DominanceOrd};
+use mopt::indicators::hypervolume;
+use mopt::ops::blx_alpha_step;
+use proptest::prelude::*;
+
+fn objective_vec(m: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dominance_is_antisymmetric(a in objective_vec(3), b in objective_vec(3)) {
+        let ab = pareto_dominance(&a, &b);
+        let ba = pareto_dominance(&b, &a);
+        match ab {
+            DominanceOrd::Dominates => prop_assert_eq!(ba, DominanceOrd::DominatedBy),
+            DominanceOrd::DominatedBy => prop_assert_eq!(ba, DominanceOrd::Dominates),
+            DominanceOrd::Indifferent => prop_assert_eq!(ba, DominanceOrd::Indifferent),
+        }
+    }
+
+    #[test]
+    fn dominance_is_irreflexive(a in objective_vec(4)) {
+        prop_assert_eq!(pareto_dominance(&a, &a), DominanceOrd::Indifferent);
+    }
+
+    #[test]
+    fn archive_members_mutually_nondominated(
+        points in prop::collection::vec(objective_vec(2), 1..60),
+        cap in 2usize..20,
+    ) {
+        let mut archive = AgaArchive::new(cap, 4);
+        for p in &points {
+            archive.try_insert(Candidate::evaluated(vec![], p.clone(), 0.0));
+        }
+        prop_assert!(archive.len() <= cap);
+        let ms = archive.members();
+        for i in 0..ms.len() {
+            for j in 0..ms.len() {
+                if i != j {
+                    prop_assert_ne!(
+                        constrained_dominance(&ms[j], &ms[i]),
+                        DominanceOrd::Dominates
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn archive_never_loses_global_best_per_objective(
+        points in prop::collection::vec(objective_vec(2), 1..50),
+    ) {
+        // insert all, track the running non-dominated minimum of each axis
+        let mut archive = AgaArchive::new(8, 3);
+        for p in &points {
+            archive.try_insert(Candidate::evaluated(vec![], p.clone(), 0.0));
+        }
+        for d in 0..2 {
+            let global = points.iter().map(|p| p[d]).fold(f64::INFINITY, f64::min);
+            let archived = archive.members().iter()
+                .map(|c| c.objectives[d]).fold(f64::INFINITY, f64::min);
+            // AGA property (i): extremes of every objective are retained
+            prop_assert!(archived <= global + 1e-9,
+                "axis {}: archive best {} vs global {}", d, archived, global);
+        }
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_union(
+        a in prop::collection::vec(objective_vec(2), 1..12),
+        b in prop::collection::vec(objective_vec(2), 1..12),
+    ) {
+        let r = [150.0, 150.0];
+        let hv_a = hypervolume(&a, &r);
+        let mut ab = a.clone();
+        ab.extend(b.iter().cloned());
+        let hv_ab = hypervolume(&ab, &r);
+        prop_assert!(hv_ab >= hv_a - 1e-9, "{hv_ab} < {hv_a}");
+    }
+
+    #[test]
+    fn hypervolume_3d_consistent_with_monte_carlo_bound(
+        pts in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 3), 1..10),
+    ) {
+        let r = [1.0, 1.0, 1.0];
+        let hv = hypervolume(&pts, &r);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&hv));
+        // lower bound: largest single-point box
+        let best = pts.iter()
+            .map(|p| (1.0 - p[0]).max(0.0) * (1.0 - p[1]).max(0.0) * (1.0 - p[2]).max(0.0))
+            .fold(0.0f64, f64::max);
+        prop_assert!(hv >= best - 1e-9);
+    }
+
+    #[test]
+    fn blx_step_stays_in_theoretical_interval(
+        sp in -50.0f64..50.0,
+        tp in -50.0f64..50.0,
+        alpha in 0.01f64..0.99,
+        seed in 0u64..1000,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let v = blx_alpha_step(sp, tp, alpha, &mut rng);
+        let phi = alpha * (sp - tp).abs();
+        prop_assert!(v >= sp - 2.0 * phi - 1e-9);
+        prop_assert!(v <= sp + phi + 1e-9);
+    }
+
+    #[test]
+    fn field_reflection_always_inside(
+        x in -10_000.0f64..10_000.0,
+        y in -10_000.0f64..10_000.0,
+        w in 1.0f64..2000.0,
+        h in 1.0f64..2000.0,
+    ) {
+        let field = manet::geometry::Field::new(w, h);
+        let p = field.reflect(manet::geometry::Vec2::new(x, y));
+        prop_assert!(field.contains(p), "{:?} escaped {}x{}", p, w, h);
+    }
+
+    #[test]
+    fn radio_range_inversion_round_trips(
+        tx in -10.0f64..20.0,
+        rx in -96.0f64..-40.0,
+    ) {
+        let pl = manet::radio::PathLoss::ns3_default();
+        prop_assume!(tx > rx);
+        let d = pl.range_for(tx, rx);
+        let back = pl.rx_dbm(tx, d);
+        // exact except at the clamp region below the reference distance
+        if d > 1.0 {
+            prop_assert!((back - rx).abs() < 1e-6, "d={d} back={back} rx={rx}");
+        }
+    }
+
+    #[test]
+    fn bounds_clamp_idempotent(
+        vals in prop::collection::vec(-1e6f64..1e6, 5),
+    ) {
+        let b = AedbParams::bounds();
+        let mut x = vals.clone();
+        b.clamp(&mut x);
+        prop_assert!(b.contains(&x));
+        let mut y = x.clone();
+        b.clamp(&mut y);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn wilcoxon_p_value_in_unit_interval(
+        a in prop::collection::vec(-10.0f64..10.0, 2..30),
+        b in prop::collection::vec(-10.0f64..10.0, 2..30),
+    ) {
+        if let Some(r) = wilcoxon_rank_sum(&a, &b) {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+        }
+    }
+}
+
+proptest! {
+    // simulator cases are costlier — fewer cases
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn simulation_invariants_hold_for_random_configs(
+        min_delay in 0.0f64..1.0,
+        delay_span in 0.0f64..4.0,
+        border in -95.0f64..-70.0,
+        margin in 0.0f64..3.0,
+        neighbors in 0.0f64..50.0,
+        seed in 0u64..50,
+    ) {
+        let params = AedbParams {
+            min_delay,
+            max_delay: min_delay + delay_span,
+            border_threshold: border,
+            margin_threshold: margin,
+            neighbors_threshold: neighbors,
+        };
+        let scenario = Scenario::quick(Density::D100, 1);
+        let mut cfg = scenario.sim_config(0);
+        cfg.seed = seed; // random network
+        let n = cfg.n_nodes;
+        let report = Simulator::new(cfg, Aedb::new(n, params)).run();
+        let b = &report.broadcast;
+        prop_assert!(b.coverage() < n);
+        prop_assert!(b.forwardings <= n, "more forwardings than nodes");
+        prop_assert!(b.broadcast_time() >= 0.0 && b.broadcast_time() <= 10.0);
+        // every forwarding transmits at most the default power
+        prop_assert!(b.energy_dbm_sum <= b.forwardings as f64 * 16.02 + 1e-9);
+    }
+}

@@ -25,7 +25,11 @@ impl Probabilistic {
     pub fn new(n: usize, probability: f64, jitter: (f64, f64)) -> Self {
         assert!((0.0..=1.0).contains(&probability));
         assert!(jitter.0 >= 0.0 && jitter.1 >= jitter.0);
-        Self { seen: vec![false; n], probability, jitter }
+        Self {
+            seen: vec![false; n],
+            probability,
+            jitter,
+        }
     }
 }
 
@@ -78,7 +82,11 @@ impl CounterBased {
     pub fn new(n: usize, counter_threshold: u32, delay: (f64, f64)) -> Self {
         assert!(counter_threshold >= 1);
         assert!(delay.0 >= 0.0 && delay.1 >= delay.0);
-        Self { state: vec![CbState::default(); n], counter_threshold, delay }
+        Self {
+            state: vec![CbState::default(); n],
+            counter_threshold,
+            delay,
+        }
     }
 }
 
@@ -141,7 +149,11 @@ impl DistanceBased {
     /// Creates the protocol for `n` nodes.
     pub fn new(n: usize, border_threshold: f64, delay: (f64, f64)) -> Self {
         assert!(delay.0 >= 0.0 && delay.1 >= delay.0);
-        Self { state: vec![DbState::default(); n], border_threshold, delay }
+        Self {
+            state: vec![DbState::default(); n],
+            border_threshold,
+            delay,
+        }
     }
 }
 
@@ -272,8 +284,7 @@ mod tests {
             0,
         );
         if aedb.broadcast.forwardings > 0 && db.broadcast.forwardings > 0 {
-            let per_fwd_aedb =
-                aedb.broadcast.energy_dbm_sum / aedb.broadcast.forwardings as f64;
+            let per_fwd_aedb = aedb.broadcast.energy_dbm_sum / aedb.broadcast.forwardings as f64;
             let per_fwd_db = db.broadcast.energy_dbm_sum / db.broadcast.forwardings as f64;
             assert!(
                 per_fwd_aedb < per_fwd_db,

@@ -66,13 +66,23 @@ impl AedbParams {
 
     /// Parameter names in decision-vector order.
     pub fn names() -> [&'static str; N_PARAMS] {
-        ["min_delay", "max_delay", "border_threshold", "margin_threshold", "neighbors_threshold"]
+        [
+            "min_delay",
+            "max_delay",
+            "border_threshold",
+            "margin_threshold",
+            "neighbors_threshold",
+        ]
     }
 
     /// Builds a configuration from a decision vector
     /// `[min_delay, max_delay, border, margin, neighbors]`.
     pub fn from_vec(x: &[f64]) -> Self {
-        assert_eq!(x.len(), N_PARAMS, "AEDB decision vector must have 5 entries");
+        assert_eq!(
+            x.len(),
+            N_PARAMS,
+            "AEDB decision vector must have 5 entries"
+        );
         Self {
             min_delay: x[0],
             max_delay: x[1],
@@ -147,7 +157,10 @@ mod tests {
         for i in 0..N_PARAMS {
             let (lo, hi) = b.get(i);
             let (slo, shi) = s.get(i);
-            assert!(slo <= lo && shi >= hi, "param {i}: [{slo},{shi}] vs [{lo},{hi}]");
+            assert!(
+                slo <= lo && shi >= hi,
+                "param {i}: [{slo},{shi}] vs [{lo},{hi}]"
+            );
         }
     }
 

@@ -16,11 +16,31 @@ use crate::scenario::Scenario;
 use manet::sim::Simulator;
 use mopt::problem::{Evaluation, Problem};
 use mopt::solution::Bounds;
+use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Broadcast-time constraint limit (s): "any solution that takes longer
 /// than 2 seconds is no longer valid".
 pub const BT_LIMIT: f64 = 2.0;
+
+/// Lattice resolution of the evaluation cache: each decision variable is
+/// snapped to this many steps across its bound range (~1e-6 relative),
+/// far below any step the optimisers take, so only genuinely repeated
+/// configurations collide.
+const CACHE_STEPS: f64 = (1u64 << 20) as f64;
+
+/// Quantized decision vector — the evaluation-cache key.
+type CacheKey = [u64; N_PARAMS];
+
+/// A global pool of reusable simulators: the batched pipeline runs
+/// thousands of simulations per generation through the same handful of
+/// pre-allocated event queues / tables / scratch buffers. The pool is
+/// process-wide (not thread-local) so reuse survives across batches even
+/// when the thread pool recreates its workers; it never holds more
+/// simulators than the peak number of concurrent simulations.
+static SIM_POOL: Mutex<Vec<Simulator<Aedb>>> = Mutex::new(Vec::new());
 
 /// The four raw observables of one configuration, averaged over the
 /// scenario's networks (the sensitivity analysis needs all four).
@@ -39,25 +59,62 @@ pub struct AedbOutcome {
 /// The tuning problem for one density scenario.
 ///
 /// Evaluation simulates the candidate on every fixed network of the
-/// scenario (optionally in parallel via rayon — the inner loop of the
-/// paper, which dominates runtime) and averages the metrics.
+/// scenario (the inner loop of the paper, which dominates runtime) and
+/// averages the metrics. The batched entry point
+/// [`Problem::evaluate_batch`] fans the whole (candidate × network)
+/// product out over a thread pool at once — the unit of parallelism the
+/// optimisers feed a generation at a time — and a quantized-parameter
+/// cache dedupes repeated configurations across generations.
 pub struct AedbProblem {
     scenario: Scenario,
     bounds: Bounds,
     parallel: bool,
+    /// Evaluation memo keyed by quantized decision vectors; `None`
+    /// disables caching (perf baselines).
+    cache: Option<Mutex<HashMap<CacheKey, Evaluation>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl AedbProblem {
     /// Paper-faithful problem: Table III bounds, 10 fixed networks,
-    /// sequential simulation (the algorithms parallelise above this).
+    /// sequential per-candidate simulation (batch evaluation and the
+    /// algorithms parallelise above this).
+    ///
+    /// The quantized evaluation cache is **enabled** by default: decision
+    /// vectors are snapped to a `2^20`-step lattice per variable, so two
+    /// vectors closer than ~1e-6 of a bound range share one simulated
+    /// result. That dedupes the exact repeats optimisers produce
+    /// (elitism, archive re-injection) at the cost of a deliberate
+    /// approximation for near-identical vectors; callers needing strict
+    /// per-vector evaluation (e.g. parity baselines) should opt out via
+    /// [`with_eval_cache(false)`](Self::with_eval_cache).
     pub fn paper(scenario: Scenario) -> Self {
-        Self { scenario, bounds: AedbParams::bounds(), parallel: false }
+        Self {
+            scenario,
+            bounds: AedbParams::bounds(),
+            parallel: false,
+            cache: Some(Mutex::new(HashMap::new())),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+        }
     }
 
-    /// Enables rayon across the scenario's networks for callers that
-    /// evaluate one candidate at a time (sensitivity analysis, examples).
+    /// Enables the thread pool across the scenario's networks for callers
+    /// that evaluate one candidate at a time (sensitivity analysis,
+    /// examples). Batch evaluation always parallelises.
     pub fn with_parallel_sims(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Enables/disables the quantized evaluation cache (on by default).
+    pub fn with_eval_cache(mut self, on: bool) -> Self {
+        self.cache = if on {
+            Some(Mutex::new(HashMap::new()))
+        } else {
+            None
+        };
         self
     }
 
@@ -74,11 +131,70 @@ impl AedbProblem {
         &self.scenario
     }
 
+    /// `(hits, misses)` of the evaluation cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache_hits.load(Ordering::Relaxed),
+            self.cache_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Snaps `x` onto the cache lattice: per variable, the index of its
+    /// `CACHE_STEPS`-step cell within the bound range. Out-of-range values
+    /// clamp to the edge cells.
+    fn quantize(&self, x: &[f64]) -> CacheKey {
+        let mut key = [0u64; N_PARAMS];
+        for (i, k) in key.iter_mut().enumerate() {
+            let (lo, hi) = self.bounds.get(i);
+            let span = hi - lo;
+            let t = if span > 0.0 {
+                ((x[i] - lo) / span).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            *k = (t * CACHE_STEPS).round() as u64;
+        }
+        key
+    }
+
+    fn cached(&self, key: &CacheKey) -> Option<Evaluation> {
+        let hit = self.cache.as_ref()?.lock().get(key).cloned();
+        match &hit {
+            Some(_) => self.cache_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.cache_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn store(&self, key: CacheKey, ev: &Evaluation) {
+        if let Some(cache) = &self.cache {
+            cache.lock().insert(key, ev.clone());
+        }
+    }
+
     /// Simulates `params` on network `k` and returns its raw observables.
+    /// Runs on a simulator checked out of the process-wide pool: after
+    /// warm-up a simulation performs no heap allocation beyond the report.
     pub fn simulate_one(&self, params: AedbParams, k: usize) -> AedbOutcome {
         let config = self.scenario.sim_config(k);
         let n = config.n_nodes;
-        let report = Simulator::new(config, Aedb::new(n, params)).run();
+        // Bind the checkout first: `match SIM_POOL.lock().pop()` would
+        // hold the guard across the arms and self-deadlock on the push.
+        let checked_out = SIM_POOL.lock().pop();
+        let report = match checked_out {
+            Some(mut sim) => {
+                sim.reset_with(config, |p| p.reset(n, params));
+                let report = sim.run_to_end();
+                SIM_POOL.lock().push(sim);
+                report
+            }
+            None => {
+                let mut sim = Simulator::new(config, Aedb::new(n, params));
+                let report = sim.run_to_end();
+                SIM_POOL.lock().push(sim);
+                report
+            }
+        };
         AedbOutcome {
             energy: report.broadcast.energy_dbm_sum,
             coverage: report.broadcast.coverage() as f64,
@@ -87,28 +203,20 @@ impl AedbProblem {
         }
     }
 
-    /// Full evaluation: averages the observables over all networks.
-    pub fn evaluate_full(&self, params: AedbParams) -> AedbOutcome {
-        let n = self.scenario.n_networks;
+    fn average(outcomes: impl Iterator<Item = AedbOutcome>, n: usize) -> AedbOutcome {
         let fold = |acc: AedbOutcome, o: AedbOutcome| AedbOutcome {
             energy: acc.energy + o.energy,
             coverage: acc.coverage + o.coverage,
             forwardings: acc.forwardings + o.forwardings,
             broadcast_time: acc.broadcast_time + o.broadcast_time,
         };
-        let zero = AedbOutcome { energy: 0.0, coverage: 0.0, forwardings: 0.0, broadcast_time: 0.0 };
-        // Parallel path collects first and folds in index order so the
-        // floating-point sum is bit-identical to the sequential path.
-        let sum = if self.parallel {
-            (0..n)
-                .into_par_iter()
-                .map(|k| self.simulate_one(params, k))
-                .collect::<Vec<_>>()
-                .into_iter()
-                .fold(zero, fold)
-        } else {
-            (0..n).map(|k| self.simulate_one(params, k)).fold(zero, fold)
+        let zero = AedbOutcome {
+            energy: 0.0,
+            coverage: 0.0,
+            forwardings: 0.0,
+            broadcast_time: 0.0,
         };
+        let sum = outcomes.fold(zero, fold);
         let d = n as f64;
         AedbOutcome {
             energy: sum.energy / d,
@@ -116,6 +224,29 @@ impl AedbProblem {
             forwardings: sum.forwardings / d,
             broadcast_time: sum.broadcast_time / d,
         }
+    }
+
+    /// Full evaluation: averages the observables over all networks.
+    pub fn evaluate_full(&self, params: AedbParams) -> AedbOutcome {
+        let n = self.scenario.n_networks;
+        // Parallel path collects first and folds in index order so the
+        // floating-point sum is bit-identical to the sequential path.
+        if self.parallel {
+            let outcomes: Vec<AedbOutcome> = (0..n)
+                .into_par_iter()
+                .map(|k| self.simulate_one(params, k))
+                .collect();
+            Self::average(outcomes.into_iter(), n)
+        } else {
+            Self::average((0..n).map(|k| self.simulate_one(params, k)), n)
+        }
+    }
+
+    fn outcome_to_evaluation(o: AedbOutcome) -> Evaluation {
+        Evaluation::with_violation(
+            vec![o.energy, -o.coverage, o.forwardings],
+            (o.broadcast_time - BT_LIMIT).max(0.0),
+        )
     }
 }
 
@@ -129,16 +260,80 @@ impl Problem for AedbProblem {
     }
 
     fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let key = self.quantize(x);
+        if let Some(hit) = self.cached(&key) {
+            return hit;
+        }
         let params = AedbParams::from_vec(x);
-        let o = self.evaluate_full(params);
-        Evaluation::with_violation(
-            vec![o.energy, -o.coverage, o.forwardings],
-            (o.broadcast_time - BT_LIMIT).max(0.0),
-        )
+        let ev = Self::outcome_to_evaluation(self.evaluate_full(params));
+        self.store(key, &ev);
+        ev
+    }
+
+    /// Batched evaluation: dedupes candidates through the quantized cache,
+    /// then fans the remaining (candidate × network) product out over the
+    /// thread pool in one parallel scope. With small populations this
+    /// exposes `candidates × networks` units of work instead of
+    /// per-candidate `networks`, keeping every core busy; per-network
+    /// outcomes are folded in network order so each result is bit-identical
+    /// to a per-candidate [`evaluate`](Problem::evaluate) call.
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        let n_nets = self.scenario.n_networks;
+        let mut results: Vec<Option<Evaluation>> = Vec::with_capacity(xs.len());
+        // Unique uncached configurations in first-occurrence order.
+        let mut fresh: Vec<(CacheKey, AedbParams)> = Vec::new();
+        let mut fresh_index: HashMap<CacheKey, usize> = HashMap::new();
+        let mut result_source: Vec<usize> = Vec::with_capacity(xs.len()); // index into `fresh`
+        for x in xs {
+            let key = self.quantize(x);
+            if let Some(hit) = self.cached(&key) {
+                results.push(Some(hit));
+                result_source.push(usize::MAX);
+            } else {
+                // In-batch dedupe is part of the cache contract; with the
+                // cache disabled every vector simulates independently.
+                let idx = if self.cache.is_some() {
+                    *fresh_index.entry(key).or_insert_with(|| {
+                        fresh.push((key, AedbParams::from_vec(x)));
+                        fresh.len() - 1
+                    })
+                } else {
+                    fresh.push((key, AedbParams::from_vec(x)));
+                    fresh.len() - 1
+                };
+                results.push(None);
+                result_source.push(idx);
+            }
+        }
+        // One parallel scope over the whole (candidate × network) product.
+        let jobs = fresh.len() * n_nets;
+        let outcomes: Vec<AedbOutcome> = (0..jobs)
+            .into_par_iter()
+            .map(|j| self.simulate_one(fresh[j / n_nets].1, j % n_nets))
+            .collect();
+        let fresh_evals: Vec<Evaluation> = fresh
+            .iter()
+            .enumerate()
+            .map(|(ci, (key, _))| {
+                let per_net = outcomes[ci * n_nets..(ci + 1) * n_nets].iter().copied();
+                let ev = Self::outcome_to_evaluation(Self::average(per_net, n_nets));
+                self.store(*key, &ev);
+                ev
+            })
+            .collect();
+        results
+            .into_iter()
+            .zip(result_source)
+            .map(|(cached, src)| cached.unwrap_or_else(|| fresh_evals[src].clone()))
+            .collect()
     }
 
     fn objective_names(&self) -> Vec<String> {
-        vec!["energy_dbm".into(), "neg_coverage".into(), "forwardings".into()]
+        vec![
+            "energy_dbm".into(),
+            "neg_coverage".into(),
+            "forwardings".into(),
+        ]
     }
 }
 
@@ -184,8 +379,9 @@ mod tests {
     fn permissive_config_reaches_nodes() {
         // A high border threshold (−70 dBm) gives a large forwarding area:
         // only nodes receiving *above* it (closer than ~20 m to a sender)
-        // drop, so dissemination spreads.
-        let p = quick_problem();
+        // drop, so dissemination spreads. Averaged over 4 networks because
+        // individual 25-node placements can be badly partitioned.
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 4));
         let params = AedbParams {
             min_delay: 0.0,
             max_delay: 0.2,
@@ -211,9 +407,17 @@ mod tests {
             neighbors_threshold: 50.0,
         };
         let o = p.evaluate_full(params);
-        let permissive = AedbParams { border_threshold: -70.0, ..params };
+        let permissive = AedbParams {
+            border_threshold: -70.0,
+            ..params
+        };
         let op = p.evaluate_full(permissive);
-        assert!(o.forwardings <= op.forwardings, "{} vs {}", o.forwardings, op.forwardings);
+        assert!(
+            o.forwardings <= op.forwardings,
+            "{} vs {}",
+            o.forwardings,
+            op.forwardings
+        );
         assert!(o.coverage <= op.coverage);
     }
 
@@ -227,10 +431,78 @@ mod tests {
             margin_threshold: 1.0,
             neighbors_threshold: 50.0,
         };
-        let fast = AedbParams { min_delay: 0.0, max_delay: 0.1, ..slow };
+        let fast = AedbParams {
+            min_delay: 0.0,
+            max_delay: 0.1,
+            ..slow
+        };
         let o_slow = p.evaluate_full(slow);
         let o_fast = p.evaluate_full(fast);
         assert!(o_slow.broadcast_time > o_fast.broadcast_time);
+    }
+
+    #[test]
+    fn batch_matches_per_candidate_evaluation() {
+        // The batched (candidate × network) pipeline must be bit-identical
+        // to sequential per-candidate evaluation — objectives *and*
+        // constraint violations. Caches disabled on the reference problem
+        // so it really recomputes.
+        let batch_problem = AedbProblem::paper(Scenario::quick(Density::D100, 3));
+        let reference =
+            AedbProblem::paper(Scenario::quick(Density::D100, 3)).with_eval_cache(false);
+        let xs: Vec<Vec<f64>> = vec![
+            AedbParams::default_config().to_vec(),
+            vec![0.0, 0.2, -70.0, 1.0, 50.0],
+            vec![1.0, 5.0, -95.0, 0.0, 0.0], // slow delays: likely violating
+            vec![0.5, 2.5, -82.0, 2.0, 25.0],
+        ];
+        let batch = batch_problem.evaluate_batch(&xs);
+        assert_eq!(batch.len(), xs.len());
+        for (x, ev) in xs.iter().zip(&batch) {
+            let single = reference.evaluate(x);
+            assert_eq!(
+                ev.objectives, single.objectives,
+                "objectives diverge at {x:?}"
+            );
+            assert_eq!(
+                ev.violation, single.violation,
+                "violation diverges at {x:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_cache_hits_return_identical_results() {
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 2));
+        let x = AedbParams::default_config().to_vec();
+        let y = vec![0.0, 0.2, -70.0, 1.0, 50.0];
+        // Duplicates inside one batch simulate once; repeats across calls
+        // hit the cache and must return the very same evaluation.
+        let first = p.evaluate_batch(&[x.clone(), y.clone(), x.clone()]);
+        assert_eq!(first[0], first[2]);
+        let (h0, m0) = p.cache_stats();
+        assert_eq!(h0, 0, "first batch cannot hit");
+        assert_eq!(m0, 3, "all three lookups miss (dedupe happens after)");
+        let second = p.evaluate_batch(&[y.clone(), x.clone()]);
+        assert_eq!(second[0], first[1]);
+        assert_eq!(second[1], first[0]);
+        let (h1, _) = p.cache_stats();
+        assert_eq!(h1, 2, "second batch is fully cached");
+        // the per-candidate path shares the same cache
+        assert_eq!(p.evaluate(&x), first[0]);
+        assert_eq!(p.cache_stats().0, 3);
+    }
+
+    #[test]
+    fn quantization_dedupes_only_negligible_differences() {
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 1));
+        let x = AedbParams::default_config().to_vec();
+        let mut nudged = x.clone();
+        nudged[0] += 1e-9; // far below one lattice step
+        assert_eq!(p.quantize(&x), p.quantize(&nudged));
+        let mut moved = x.clone();
+        moved[0] += 1e-2; // thousands of steps away
+        assert_ne!(p.quantize(&x), p.quantize(&moved));
     }
 
     #[test]

@@ -52,7 +52,19 @@ pub struct Aedb {
 impl Aedb {
     /// Creates the protocol for `n` nodes with configuration `params`.
     pub fn new(n: usize, params: AedbParams) -> Self {
-        Self { params, nodes: vec![NodeState::default(); n] }
+        Self {
+            params,
+            nodes: vec![NodeState::default(); n],
+        }
+    }
+
+    /// Re-arms the protocol for a new run, reusing the per-node state
+    /// buffer (the batched evaluation pipeline resets one protocol
+    /// instance thousands of times per generation).
+    pub fn reset(&mut self, n: usize, params: AedbParams) {
+        self.params = params;
+        self.nodes.clear();
+        self.nodes.resize(n, NodeState::default());
     }
 
     /// The configuration in use.
@@ -70,9 +82,8 @@ impl Aedb {
         // Required power to make a neighbour with beacon power `rx` decode
         // us: the beacon's path loss is (default − rx), so we must emit at
         // sensitivity + loss (+ margin).
-        let needed = |beacon_rx_dbm: f64| {
-            sensitivity + (default - beacon_rx_dbm) + p.margin_threshold
-        };
+        let needed =
+            |beacon_rx_dbm: f64| sensitivity + (default - beacon_rx_dbm) + p.margin_threshold;
         let potential: Vec<f64> = neighbors
             .iter()
             .filter(|e| e.rx_dbm <= p.border_threshold)
@@ -175,14 +186,24 @@ mod tests {
 
     impl FakeApi {
         fn new() -> Self {
-            Self { now: 0.0, timers: vec![], transmissions: vec![], neighbors: vec![], rand_value: 0.5 }
+            Self {
+                now: 0.0,
+                timers: vec![],
+                transmissions: vec![],
+                neighbors: vec![],
+                rand_value: 0.5,
+            }
         }
 
         fn with_neighbors(rx: &[(NodeId, f64)]) -> Self {
             let mut api = Self::new();
             api.neighbors = rx
                 .iter()
-                .map(|&(id, rx_dbm)| NeighborEntry { id, rx_dbm, last_seen: 0.0 })
+                .map(|&(id, rx_dbm)| NeighborEntry {
+                    id,
+                    rx_dbm,
+                    last_seen: 0.0,
+                })
                 .collect();
             api
         }

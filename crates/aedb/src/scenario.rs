@@ -72,12 +72,20 @@ pub struct Scenario {
 impl Scenario {
     /// The paper's scenario for a density: 10 fixed networks.
     pub fn paper(density: Density) -> Self {
-        Self { density, n_networks: 10, base_seed: 1000 * density.per_km2() as u64 }
+        Self {
+            density,
+            n_networks: 10,
+            base_seed: 1000 * density.per_km2() as u64,
+        }
     }
 
     /// A reduced scenario (fewer networks) for tests and quick runs.
     pub fn quick(density: Density, n_networks: usize) -> Self {
-        Self { density, n_networks, base_seed: 1000 * density.per_km2() as u64 }
+        Self {
+            density,
+            n_networks,
+            base_seed: 1000 * density.per_km2() as u64,
+        }
     }
 
     /// The seed of evaluation network `k` (`k < n_networks`).
@@ -94,7 +102,9 @@ impl Scenario {
             field: Field::paper(),
             n_nodes: self.density.n_nodes(),
             speed_range: (0.0, 2.0),
-            mobility: MobilityModel::RandomWalk { change_interval: 20.0 },
+            mobility: MobilityModel::RandomWalk {
+                change_interval: 20.0,
+            },
             radio: RadioConfig::paper(),
             beacon_interval: 1.0,
             neighbor_expiry: 2.5,
@@ -137,7 +147,9 @@ mod tests {
         assert_eq!(c.radio.default_tx_dbm, 16.02);
         assert_eq!(c.broadcast_time, 30.0);
         assert_eq!(c.end_time, 40.0);
-        assert!(matches!(c.mobility, MobilityModel::RandomWalk { change_interval } if change_interval == 20.0));
+        assert!(
+            matches!(c.mobility, MobilityModel::RandomWalk { change_interval } if change_interval == 20.0)
+        );
     }
 
     #[test]

@@ -51,7 +51,12 @@ fn bench_indicators(c: &mut Criterion) {
         b.iter(|| black_box(hypervolume(black_box(&front), &[1.1, 1.1, 1.1])))
     });
     g.bench_function("igd", |b| {
-        b.iter(|| black_box(inverted_generational_distance(black_box(&front), &reference)))
+        b.iter(|| {
+            black_box(inverted_generational_distance(
+                black_box(&front),
+                &reference,
+            ))
+        })
     });
     g.bench_function("generalized_spread", |b| {
         b.iter(|| black_box(generalized_spread(black_box(&front), &reference)))
@@ -66,7 +71,14 @@ fn bench_operators(c: &mut Criterion) {
     let p2: Vec<f64> = (0..5).map(|_| rng.gen()).collect();
     let mut g = c.benchmark_group("variation_operators_5d");
     g.bench_function("blx_alpha_step", |b| {
-        b.iter(|| black_box(blx_alpha_step(black_box(0.4), black_box(0.7), 0.2, &mut rng)))
+        b.iter(|| {
+            black_box(blx_alpha_step(
+                black_box(0.4),
+                black_box(0.7),
+                0.2,
+                &mut rng,
+            ))
+        })
     });
     g.bench_function("sbx_crossover", |b| {
         b.iter(|| black_box(sbx_crossover(&p1, &p2, 20.0, 0.9, &bounds, &mut rng)))
@@ -79,7 +91,11 @@ fn bench_operators(c: &mut Criterion) {
         })
     });
     g.bench_function("de_rand_1_bin", |b| {
-        b.iter(|| black_box(de_rand_1_bin(&p1, &p2, &p1, &p2, 0.5, 0.9, &bounds, &mut rng)))
+        b.iter(|| {
+            black_box(de_rand_1_bin(
+                &p1, &p2, &p1, &p2, 0.5, 0.9, &bounds, &mut rng,
+            ))
+        })
     });
     g.finish();
 }
@@ -110,11 +126,15 @@ fn bench_mls_scaling(c: &mut Criterion) {
     let problem = Zdt1::new(6);
     let total: u64 = 4096;
     for threads in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let cfg = MlsConfig::quick(1, threads, total / threads as u64);
-            let mls = Mls::new(cfg);
-            b.iter(|| black_box(mls.optimize(&problem, 5)).evaluations);
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let cfg = MlsConfig::quick(1, threads, total / threads as u64);
+                let mls = Mls::new(cfg);
+                b.iter(|| black_box(mls.optimize(&problem, 5)).evaluations);
+            },
+        );
     }
     g.finish();
 }

@@ -1,11 +1,14 @@
 //! Micro-benchmarks of the simulation substrate: one full network
-//! simulation per density (the paper's unit of fitness cost) and a single
-//! complete fitness evaluation (10 networks).
+//! simulation per density (the paper's unit of fitness cost), a single
+//! complete fitness evaluation (10 networks), and — the perf baseline of
+//! the batched pipeline — delivery throughput of the spatial grid versus
+//! the naive O(n²) scan at 100/200/300 dev/km² on scaled fields.
 
 use aedb::params::AedbParams;
 use aedb::problem::AedbProblem;
 use aedb::protocol::Aedb;
 use aedb::scenario::{Density, Scenario};
+use bench_harness::scale::DenseScenario;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use manet::sim::Simulator;
 use mopt::problem::Problem;
@@ -63,5 +66,39 @@ fn bench_flooding_baseline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_simulation, bench_full_evaluation, bench_flooding_baseline);
+/// The tentpole perf baseline: full-simulation (≈ deliveries-bound)
+/// throughput with the spatial grid against the naive all-nodes scan, at
+/// the paper's three densities scaled out to large node counts. Future
+/// PRs compare against these numbers; the 200 dev/km² pair must show the
+/// grid ≥ 2× faster.
+fn bench_deliveries_grid_vs_naive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deliveries_throughput");
+    g.sample_size(10);
+    for (per_km2, n_nodes) in [(100u32, 250usize), (200, 500), (300, 750)] {
+        let scenario = DenseScenario::new(per_km2, n_nodes);
+        for naive in [false, true] {
+            let id = BenchmarkId::new(if naive { "naive" } else { "grid" }, per_km2);
+            g.bench_with_input(id, &naive, |b, &naive| {
+                let cfg = scenario.sim_config(0);
+                let n = cfg.n_nodes;
+                let mut sim =
+                    Simulator::new(cfg.clone(), Aedb::new(n, AedbParams::default_config()));
+                sim.set_naive_deliveries(naive);
+                b.iter(|| {
+                    sim.reset_with(cfg.clone(), |p| p.reset(n, AedbParams::default_config()));
+                    sim.run_to_end().broadcast.coverage()
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_simulation,
+    bench_full_evaluation,
+    bench_flooding_baseline,
+    bench_deliveries_grid_vs_naive
+);
 criterion_main!(benches);

@@ -11,8 +11,11 @@ use manet::sim::Simulator;
 
 fn main() {
     let scale = ExperimentScale::from_args();
-    let densities =
-        if scale.paper { Density::ALL.to_vec() } else { scale.densities.clone() };
+    let densities = if scale.paper {
+        Density::ALL.to_vec()
+    } else {
+        scale.densities.clone()
+    };
     println!("== connectivity of the fixed evaluation networks at t = 30 s ==");
     let mut t = Table::new(vec![
         "density",

@@ -1,0 +1,80 @@
+//! Beyond-paper scale experiment: simulation throughput on the dense
+//! scenarios (hundreds of nodes) with the spatial grid versus the naive
+//! O(n²) scan, plus a batched AEDB evaluation at scale.
+//!
+//! Flags: `--dense 500@200,750@300` selects scenarios, `--paper` runs all
+//! presets.
+use aedb::params::AedbParams;
+use bench_harness::scale::ExperimentScale;
+use bench_harness::tables::{f, Table};
+use manet::protocol::Flooding;
+use manet::sim::Simulator;
+use std::time::Instant;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    println!("== dense-scenario simulation throughput: spatial grid vs naive scan ==");
+    let mut t = Table::new(vec![
+        "scenario",
+        "field (m)",
+        "grid (s/sim)",
+        "naive (s/sim)",
+        "speedup",
+        "coverage",
+    ]);
+    for d in &scale.dense {
+        let run = |naive: bool| {
+            let cfg = d.sim_config(0);
+            let n = cfg.n_nodes;
+            let mut sim = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1)));
+            sim.set_naive_deliveries(naive);
+            let t0 = Instant::now();
+            let report = sim.run_to_end();
+            (t0.elapsed().as_secs_f64(), report.broadcast.coverage())
+        };
+        let (grid_s, cov) = run(false);
+        let (naive_s, cov_naive) = run(true);
+        assert_eq!(cov, cov_naive, "grid and naive scan must agree");
+        t.row(vec![
+            d.to_string(),
+            f(d.field().width, 0),
+            f(grid_s, 3),
+            f(naive_s, 3),
+            f(naive_s / grid_s, 2),
+            cov.to_string(),
+        ]);
+    }
+    t.print();
+
+    // A small batched AEDB evaluation for reference — note this runs the
+    // *paper-scale* D200 problem (50 nodes on the 500 m field), not the
+    // dense scenarios above: the tuning problem is defined over the
+    // paper's fixed networks. The candidate × network product still fans
+    // out over all cores at once.
+    {
+        use mopt::problem::Problem;
+        let scenario =
+            aedb::scenario::Scenario::quick(aedb::scenario::Density::D200, scale.networks.min(3));
+        let problem = aedb::problem::AedbProblem::paper(scenario);
+        let xs: Vec<Vec<f64>> = vec![
+            AedbParams::default_config().to_vec(),
+            vec![0.0, 0.2, -70.0, 1.0, 50.0],
+            vec![0.3, 1.0, -85.0, 1.5, 20.0],
+        ];
+        let t0 = Instant::now();
+        let evals = problem.evaluate_batch(&xs);
+        println!(
+            "\nbatched evaluation on the paper-scale 200 dev/km² problem \
+             ({} candidates x {} networks of 50 nodes): {:.3} s",
+            xs.len(),
+            problem.scenario().n_networks,
+            t0.elapsed().as_secs_f64()
+        );
+        for (x, ev) in xs.iter().zip(&evals) {
+            println!(
+                "  delays [{:.2},{:.2}] border {:>6.1} -> energy {:>7.2} coverage {:>5.1} fwd {:>5.1} viol {:.3}",
+                x[0], x[1], x[2], ev.objectives[0], -ev.objectives[1], ev.objectives[2], ev.violation
+            );
+        }
+    }
+}

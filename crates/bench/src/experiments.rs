@@ -22,10 +22,22 @@ pub fn exp_config() {
     println!("== Table II: configuration of the simulated networks ==");
     let mut t = Table::new(vec!["parameter", "value"]);
     let c = Scenario::paper(Density::D100).sim_config(0);
-    t.row(vec!["devices/km²".to_string(), "100, 200, 300 (25/50/75 nodes)".to_string()]);
-    t.row(vec!["speed".to_string(), format!("[{}, {}] m/s", c.speed_range.0, c.speed_range.1)]);
-    t.row(vec!["area".to_string(), format!("{} m × {} m", c.field.width, c.field.height)]);
-    t.row(vec!["default trans. power".to_string(), format!("{} dBm", c.radio.default_tx_dbm)]);
+    t.row(vec![
+        "devices/km²".to_string(),
+        "100, 200, 300 (25/50/75 nodes)".to_string(),
+    ]);
+    t.row(vec![
+        "speed".to_string(),
+        format!("[{}, {}] m/s", c.speed_range.0, c.speed_range.1),
+    ]);
+    t.row(vec![
+        "area".to_string(),
+        format!("{} m × {} m", c.field.width, c.field.height),
+    ]);
+    t.row(vec![
+        "default trans. power".to_string(),
+        format!("{} dBm", c.radio.default_tx_dbm),
+    ]);
     t.row(vec![
         "dir. & speed change".to_string(),
         match c.mobility {
@@ -35,8 +47,14 @@ pub fn exp_config() {
             _ => "non-paper mobility".to_string(),
         },
     ]);
-    t.row(vec!["warm-up / broadcast / end".to_string(), format!("{} s / {} s / {} s", 30, 30, 40)]);
-    t.row(vec!["fixed networks per evaluation".to_string(), "10".to_string()]);
+    t.row(vec![
+        "warm-up / broadcast / end".to_string(),
+        format!("{} s / {} s / {} s", 30, 30, 40),
+    ]);
+    t.row(vec![
+        "fixed networks per evaluation".to_string(),
+        "10".to_string(),
+    ]);
     t.print();
 
     println!("\n== Table III: domain of the variables ==");
@@ -89,7 +107,12 @@ pub fn exp_sensitivity(scale: &ExperimentScale) {
 
         for (oi, oname) in outputs.iter().enumerate() {
             println!("\n-- influence on {oname} --");
-            let mut t = Table::new(vec!["parameter", "main effect", "interactions", "direction"]);
+            let mut t = Table::new(vec![
+                "parameter",
+                "main effect",
+                "interactions",
+                "direction",
+            ]);
             for (pi, pname) in AedbParams::names().iter().enumerate() {
                 let idx = indices[oi][pi];
                 t.row(vec![
@@ -107,8 +130,10 @@ pub fn exp_sensitivity(scale: &ExperimentScale) {
         {
             use fast99::Morris;
             let morris = Morris::new(5, (scale.fast_samples / 16).clamp(6, 30));
-            println!("\n-- Morris screening cross-check ({} evaluations) --",
-                     morris.total_evaluations());
+            println!(
+                "\n-- Morris screening cross-check ({} evaluations) --",
+                morris.total_evaluations()
+            );
             let mut stats_per_output: Vec<Vec<fast99::EffectStats>> = Vec::new();
             // one pass evaluating all four outputs along shared trajectories
             let mut cache: Vec<(Vec<f64>, [f64; 4])> = Vec::new();
@@ -126,7 +151,11 @@ pub fn exp_sensitivity(scale: &ExperimentScale) {
                 stats_per_output.push(st);
             }
             let mut t = Table::new(vec![
-                "parameter", "μ* bt", "μ* coverage", "μ* forwardings", "μ* energy",
+                "parameter",
+                "μ* bt",
+                "μ* coverage",
+                "μ* forwardings",
+                "μ* energy",
             ]);
             for (pi, pname) in AedbParams::names().iter().enumerate() {
                 t.row(vec![
@@ -141,7 +170,13 @@ pub fn exp_sensitivity(scale: &ExperimentScale) {
         }
 
         println!("\n== Table I: summary for {density} (arrows = effect of increasing the parameter; yes/few/no = interaction strength) ==");
-        let mut t = Table::new(vec!["parameter", "coverage", "forwardings", "energy used", "broadcast time"]);
+        let mut t = Table::new(vec![
+            "parameter",
+            "coverage",
+            "forwardings",
+            "energy used",
+            "broadcast time",
+        ]);
         for (pi, pname) in AedbParams::names().iter().enumerate() {
             let cell = |oi: usize| {
                 format!(
@@ -219,7 +254,11 @@ pub fn exp_fronts(scale: &ExperimentScale) -> Vec<(Density, DensityResults)> {
             let mut rows: Vec<&mopt::solution::Candidate> = front.iter().collect();
             rows.sort_by(|a, b| a.objectives[0].total_cmp(&b.objectives[0]));
             for c in rows {
-                t.row(vec![f(c.objectives[0], 2), f(-c.objectives[1], 2), f(c.objectives[2], 2)]);
+                t.row(vec![
+                    f(c.objectives[0], 2),
+                    f(-c.objectives[1], 2),
+                    f(c.objectives[2], 2),
+                ]);
             }
             t.print();
         }
@@ -247,14 +286,19 @@ pub fn exp_metrics(scale: &ExperimentScale, prefetched: Option<&[(Density, Densi
     let mut samples: Vec<Vec<[Vec<f64>; 3]>> = Vec::new();
     for (density, results) in data {
         // Normalisation front: best of all three algorithms (paper §VI).
-        let merged: Vec<_> =
-            AlgorithmKind::ALL.iter().map(|&k| merge_fronts(results.of(k), 100)).collect();
+        let merged: Vec<_> = AlgorithmKind::ALL
+            .iter()
+            .map(|&k| merge_fronts(results.of(k), 100))
+            .collect();
         let combined = merge_candidate_sets(
             &merged.iter().map(|m| m.as_slice()).collect::<Vec<_>>(),
             300,
         );
         let reference = objectives_of(&combined);
-        println!("\n== Figure 7: indicator distributions — {density} (reference front: {} points) ==", reference.len());
+        println!(
+            "\n== Figure 7: indicator distributions — {density} (reference front: {} points) ==",
+            reference.len()
+        );
         let mut per_alg = Vec::new();
         for &kind in &AlgorithmKind::ALL {
             let mut spread = Vec::new();
@@ -270,7 +314,15 @@ pub fn exp_metrics(scale: &ExperimentScale, prefetched: Option<&[(Density, Densi
         }
         let metric_names = ["spread", "IGD", "HV"];
         for (mi, mname) in metric_names.iter().enumerate() {
-            let mut t = Table::new(vec!["algorithm", "min", "q1", "median", "q3", "max", "mean"]);
+            let mut t = Table::new(vec![
+                "algorithm",
+                "min",
+                "q1",
+                "median",
+                "q3",
+                "max",
+                "mean",
+            ]);
             for (ai, &kind) in AlgorithmKind::ALL.iter().enumerate() {
                 if let Some(b) = boxplot(&per_alg[ai][mi]) {
                     t.row(vec![
@@ -293,14 +345,19 @@ pub fn exp_metrics(scale: &ExperimentScale, prefetched: Option<&[(Density, Densi
     // Table IV: pairwise Wilcoxon per metric; the three symbols per cell
     // are the three densities in order.
     println!("\n== Table IV: pairwise Wilcoxon rank-sum comparisons (95%) ==");
-    println!("   cell = row algorithm vs column algorithm; one symbol per density {:?}",
-             data.iter().map(|(d, _)| d.per_km2()).collect::<Vec<_>>());
+    println!(
+        "   cell = row algorithm vs column algorithm; one symbol per density {:?}",
+        data.iter().map(|(d, _)| d.per_km2()).collect::<Vec<_>>()
+    );
     let metric_names = ["Spread", "Inverted generational distance", "Hypervolume"];
     let smaller_better = [true, true, false];
     for (mi, mname) in metric_names.iter().enumerate() {
         println!("\n-- {mname} --");
         let mut t = Table::new(vec!["", "NSGAII", "AEDB-MLS"]);
-        for (ri, row_kind) in [AlgorithmKind::CellDe, AlgorithmKind::Nsga2].iter().enumerate() {
+        for (ri, row_kind) in [AlgorithmKind::CellDe, AlgorithmKind::Nsga2]
+            .iter()
+            .enumerate()
+        {
             let mut cells = vec![row_kind.name().to_string()];
             for col_kind in [AlgorithmKind::Nsga2, AlgorithmKind::Mls].iter().skip(ri) {
                 let mut syms = String::new();
@@ -323,7 +380,10 @@ pub fn exp_metrics(scale: &ExperimentScale, prefetched: Option<&[(Density, Densi
 }
 
 fn idx_of(kind: AlgorithmKind) -> usize {
-    AlgorithmKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL")
+    AlgorithmKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind in ALL")
 }
 
 /// §VI domination counts: how many Reference points are dominated by some
@@ -448,21 +508,39 @@ pub fn exp_ablation(scale: &ExperimentScale) {
     println!("\n== Ablation: AEDB-MLS design choices (density 100) ==");
     let problem = AedbProblem::paper(Scenario::quick(Density::D100, scale.networks));
     let per_thread = (scale.mls_evals() / 4).max(10);
-    let base = MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::quick(2, 2, per_thread) };
+    let base = MlsConfig {
+        criteria: CriteriaChoice::Aedb,
+        ..MlsConfig::quick(2, 2, per_thread)
+    };
     let variants: Vec<(&str, MlsConfig)> = vec![
         ("paper (baseline)", base.clone()),
         (
             "acceptance: non-dominated",
-            MlsConfig { acceptance: AcceptanceRule::NonDominated, ..base.clone() },
+            MlsConfig {
+                acceptance: AcceptanceRule::NonDominated,
+                ..base.clone()
+            },
         ),
-        ("no reinitialisation", MlsConfig { reinit: false, ..base.clone() }),
+        (
+            "no reinitialisation",
+            MlsConfig {
+                reinit: false,
+                ..base.clone()
+            },
+        ),
         (
             "crowding archive",
-            MlsConfig { archive_kind: ArchiveKind::Crowding, ..base.clone() },
+            MlsConfig {
+                archive_kind: ArchiveKind::Crowding,
+                ..base.clone()
+            },
         ),
         (
             "criteria: all-params",
-            MlsConfig { criteria: CriteriaChoice::AllParams, ..base.clone() },
+            MlsConfig {
+                criteria: CriteriaChoice::AllParams,
+                ..base.clone()
+            },
         ),
     ];
     // run everything first to build a common reference front
@@ -481,13 +559,23 @@ pub fn exp_ablation(scale: &ExperimentScale) {
             .collect();
         results.push((name, rr));
     }
-    let all: Vec<mopt::algorithm::RunResult> =
-        results.iter().flat_map(|(_, rr)| rr.iter().cloned()).collect();
+    let all: Vec<mopt::algorithm::RunResult> = results
+        .iter()
+        .flat_map(|(_, rr)| rr.iter().cloned())
+        .collect();
     let reference = objectives_of(&merge_fronts(&all, 300));
-    let mut t = Table::new(vec!["variant", "mean HV", "mean IGD", "mean spread", "mean |front|"]);
+    let mut t = Table::new(vec![
+        "variant",
+        "mean HV",
+        "mean IGD",
+        "mean spread",
+        "mean |front|",
+    ]);
     for (name, rr) in &results {
-        let ms: Vec<crate::fronts::FrontMetrics> =
-            rr.iter().map(|r| front_metrics(&r.objectives(), &reference)).collect();
+        let ms: Vec<crate::fronts::FrontMetrics> = rr
+            .iter()
+            .map(|r| front_metrics(&r.objectives(), &reference))
+            .collect();
         let mean = |get: fn(&crate::fronts::FrontMetrics) -> f64| {
             ms.iter().map(get).sum::<f64>() / ms.len().max(1) as f64
         };
@@ -521,7 +609,9 @@ pub fn exp_hybrid(scale: &ExperimentScale) {
             ..Default::default()
         })),
         Box::new(CellDeMls::new(CellDeMlsConfig::quick(budget))),
-        Box::new(moea::mocell::MoCell::new(moea::mocell::MoCellConfig::quick(5, budget))),
+        Box::new(moea::mocell::MoCell::new(
+            moea::mocell::MoCellConfig::quick(5, budget),
+        )),
         Box::new(Mls::new(MlsConfig {
             criteria: CriteriaChoice::Aedb,
             ..MlsConfig::quick(2, 2, (budget / 4).max(10))
@@ -529,23 +619,32 @@ pub fn exp_hybrid(scale: &ExperimentScale) {
     ];
     let mut all_runs: Vec<(String, Vec<mopt::algorithm::RunResult>)> = Vec::new();
     for alg in &algorithms {
-        let rr: Vec<mopt::algorithm::RunResult> =
-            (0..scale.reps).map(|rep| alg.run(&problem, 0x99 + 7 * rep as u64)).collect();
+        let rr: Vec<mopt::algorithm::RunResult> = (0..scale.reps)
+            .map(|rep| alg.run(&problem, 0x99 + 7 * rep as u64))
+            .collect();
         all_runs.push((alg.name().to_string(), rr));
     }
-    let flat: Vec<mopt::algorithm::RunResult> =
-        all_runs.iter().flat_map(|(_, rr)| rr.iter().cloned()).collect();
+    let flat: Vec<mopt::algorithm::RunResult> = all_runs
+        .iter()
+        .flat_map(|(_, rr)| rr.iter().cloned())
+        .collect();
     let reference = objectives_of(&merge_fronts(&flat, 300));
-    let mut t =
-        Table::new(vec!["algorithm", "mean HV", "mean IGD", "mean spread", "mean evals"]);
+    let mut t = Table::new(vec![
+        "algorithm",
+        "mean HV",
+        "mean IGD",
+        "mean spread",
+        "mean evals",
+    ]);
     for (name, rr) in &all_runs {
-        let ms: Vec<crate::fronts::FrontMetrics> =
-            rr.iter().map(|r| front_metrics(&r.objectives(), &reference)).collect();
+        let ms: Vec<crate::fronts::FrontMetrics> = rr
+            .iter()
+            .map(|r| front_metrics(&r.objectives(), &reference))
+            .collect();
         let mean = |get: fn(&crate::fronts::FrontMetrics) -> f64| {
             ms.iter().map(get).sum::<f64>() / ms.len().max(1) as f64
         };
-        let mean_ev =
-            rr.iter().map(|r| r.evaluations).sum::<u64>() as f64 / rr.len().max(1) as f64;
+        let mean_ev = rr.iter().map(|r| r.evaluations).sum::<u64>() as f64 / rr.len().max(1) as f64;
         t.row(vec![
             name.clone(),
             f(mean(|m| m.hv), 4),
@@ -619,8 +718,16 @@ pub fn exp_param_study(scale: &ExperimentScale) {
         if mean_hv > best.2 {
             best = (*alpha, *reset, mean_hv);
         }
-        t.row(vec![f(*alpha, 1), reset.to_string(), f(mean_hv, 4), f(mean_sz, 1)]);
+        t.row(vec![
+            f(*alpha, 1),
+            reset.to_string(),
+            f(mean_hv, 4),
+            f(mean_sz, 1),
+        ]);
     }
     t.print();
-    println!("best configuration: α = {}, reset = {} (paper adopted α = 0.2, reset = 50)", best.0, best.1);
+    println!(
+        "best configuration: α = {}, reset = {} (paper adopted α = 0.2, reset = 50)",
+        best.0, best.1
+    );
 }

@@ -53,7 +53,11 @@ pub struct FrontMetrics {
 /// reference point is (1.1, …) in normalised space, jMetal-style.
 pub fn front_metrics(front: &[Vec<f64>], reference: &[Vec<f64>]) -> FrontMetrics {
     let Some(norm) = Normalizer::from_points(reference) else {
-        return FrontMetrics { spread: f64::INFINITY, igd: f64::INFINITY, hv: 0.0 };
+        return FrontMetrics {
+            spread: f64::INFINITY,
+            igd: f64::INFINITY,
+            hv: 0.0,
+        };
     };
     let nf = norm.apply_front(front);
     let nr = norm.apply_front(reference);
@@ -111,8 +115,9 @@ mod tests {
 
     #[test]
     fn metrics_perfect_front() {
-        let reference: Vec<Vec<f64>> =
-            (0..=10).map(|i| vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0]).collect();
+        let reference: Vec<Vec<f64>> = (0..=10)
+            .map(|i| vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0])
+            .collect();
         let m = front_metrics(&reference, &reference);
         assert!(m.igd < 1e-12);
         assert!(m.spread < 0.3, "spread {}", m.spread);
@@ -121,9 +126,13 @@ mod tests {
 
     #[test]
     fn worse_front_scores_worse() {
-        let reference: Vec<Vec<f64>> =
-            (0..=10).map(|i| vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0]).collect();
-        let shifted: Vec<Vec<f64>> = reference.iter().map(|p| vec![p[0] + 0.3, p[1] + 0.3]).collect();
+        let reference: Vec<Vec<f64>> = (0..=10)
+            .map(|i| vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0])
+            .collect();
+        let shifted: Vec<Vec<f64>> = reference
+            .iter()
+            .map(|p| vec![p[0] + 0.3, p[1] + 0.3])
+            .collect();
         let good = front_metrics(&reference, &reference);
         let bad = front_metrics(&shifted, &reference);
         assert!(bad.igd > good.igd);

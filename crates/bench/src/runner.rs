@@ -23,7 +23,11 @@ pub enum AlgorithmKind {
 
 impl AlgorithmKind {
     /// All three, in Table IV's row/column order.
-    pub const ALL: [AlgorithmKind; 3] = [AlgorithmKind::CellDe, AlgorithmKind::Nsga2, AlgorithmKind::Mls];
+    pub const ALL: [AlgorithmKind; 3] = [
+        AlgorithmKind::CellDe,
+        AlgorithmKind::Nsga2,
+        AlgorithmKind::Mls,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -45,7 +49,11 @@ impl AlgorithmKind {
 pub fn algorithms_for(scale: &ExperimentScale, kind: AlgorithmKind) -> Box<dyn MoAlgorithm> {
     match kind {
         AlgorithmKind::Nsga2 => {
-            let population = if scale.paper { 100 } else { (scale.evals / 10).clamp(8, 40) as usize };
+            let population = if scale.paper {
+                100
+            } else {
+                (scale.evals / 10).clamp(8, 40) as usize
+            };
             Box::new(Nsga2::new(Nsga2Config {
                 population,
                 max_evaluations: scale.evals,
@@ -62,7 +70,10 @@ pub fn algorithms_for(scale: &ExperimentScale, kind: AlgorithmKind) -> Box<dyn M
         }
         AlgorithmKind::Mls => {
             let cfg = if scale.paper {
-                MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::paper() }
+                MlsConfig {
+                    criteria: CriteriaChoice::Aedb,
+                    ..MlsConfig::paper()
+                }
             } else {
                 let per_thread = (scale.mls_evals() / 4).max(10);
                 MlsConfig {
@@ -82,7 +93,9 @@ pub fn run_algorithm(
     problem: &dyn Problem,
 ) -> Vec<RunResult> {
     let alg = algorithms_for(scale, kind);
-    (0..scale.reps).map(|rep| alg.run(problem, 0xBEEF + 97 * rep as u64)).collect()
+    (0..scale.reps)
+        .map(|rep| alg.run(problem, 0xBEEF + 97 * rep as u64))
+        .collect()
 }
 
 /// All repetitions of all algorithms for one density.
@@ -106,7 +119,12 @@ impl DensityResults {
 
     /// The repetition results of one algorithm.
     pub fn of(&self, kind: AlgorithmKind) -> &[RunResult] {
-        &self.runs.iter().find(|(k, _)| *k == kind).expect("algorithm missing").1
+        &self
+            .runs
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .expect("algorithm missing")
+            .1
     }
 }
 
@@ -116,7 +134,12 @@ mod tests {
     use mopt::problem::test_problems::Zdt1;
 
     fn tiny_scale() -> ExperimentScale {
-        ExperimentScale { reps: 2, networks: 2, evals: 60, ..ExperimentScale::default() }
+        ExperimentScale {
+            reps: 2,
+            networks: 2,
+            evals: 60,
+            ..ExperimentScale::default()
+        }
     }
 
     #[test]
@@ -126,7 +149,11 @@ mod tests {
         for kind in AlgorithmKind::ALL {
             let alg = algorithms_for(&scale, kind);
             let r = alg.run(&Zdt1::new(5), 5);
-            let budget = if kind == AlgorithmKind::Mls { scale.mls_evals() } else { scale.evals };
+            let budget = if kind == AlgorithmKind::Mls {
+                scale.mls_evals()
+            } else {
+                scale.evals
+            };
             assert!(
                 r.evaluations <= budget + 4,
                 "{}: {} evals vs budget {budget}",
@@ -152,7 +179,11 @@ mod tests {
         for (kind, runs) in &d.runs {
             assert_eq!(runs.len(), 2, "{}", kind.name());
             for r in runs {
-                assert!(!r.front.is_empty(), "{} produced an empty front", kind.name());
+                assert!(
+                    !r.front.is_empty(),
+                    "{} produced an empty front",
+                    kind.name()
+                );
             }
         }
         assert_eq!(d.of(AlgorithmKind::Mls).len(), 2);

@@ -1,7 +1,80 @@
 //! Experiment scaling: paper-faithful or reduced budgets, parsed from CLI
-//! flags shared by all `exp_*` binaries.
+//! flags shared by all `exp_*` binaries — plus the beyond-paper
+//! [`DenseScenario`]s (hundreds of nodes) that the simulator's spatial
+//! grid makes tractable.
 
 use aedb::scenario::Density;
+use manet::geometry::Field;
+use manet::sim::SimConfig;
+
+/// A beyond-paper evaluation scenario: an areal density plus an explicit
+/// node count. The field grows so that `area = n_nodes / per_km2`,
+/// holding the density (and therefore the local connectivity structure)
+/// fixed while the network scales — the regime where the simulator's
+/// spatial grid turns an O(n²) beacon interval into a near-O(n) one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseScenario {
+    /// Devices per square kilometre.
+    pub per_km2: u32,
+    /// Total devices.
+    pub n_nodes: usize,
+    /// Base seed; network `k` uses `base_seed + k`.
+    pub base_seed: u64,
+}
+
+impl DenseScenario {
+    /// Scale-up presets: paper densities, 10–20× the paper's node counts.
+    pub const PRESETS: [DenseScenario; 3] = [
+        DenseScenario {
+            per_km2: 200,
+            n_nodes: 500,
+            base_seed: 7_200_500,
+        },
+        DenseScenario {
+            per_km2: 300,
+            n_nodes: 750,
+            base_seed: 7_300_750,
+        },
+        DenseScenario {
+            per_km2: 400,
+            n_nodes: 1000,
+            base_seed: 7_401_000,
+        },
+    ];
+
+    /// A scenario with the given density and node count.
+    pub fn new(per_km2: u32, n_nodes: usize) -> Self {
+        assert!(per_km2 > 0 && n_nodes > 0);
+        Self {
+            per_km2,
+            n_nodes,
+            base_seed: 7_000_000 + per_km2 as u64 * 10_000 + n_nodes as u64,
+        }
+    }
+
+    /// The square field holding `n_nodes` at `per_km2` devices/km².
+    pub fn field(&self) -> Field {
+        let area_km2 = self.n_nodes as f64 / self.per_km2 as f64;
+        let side_m = (area_km2 * 1e6).sqrt();
+        Field::new(side_m, side_m)
+    }
+
+    /// Simulator configuration of network `k`: Table II's physical setup
+    /// (radio, mobility, timing — inherited from [`SimConfig::paper`] so
+    /// the scale experiments can never drift from the paper protocol) on
+    /// the scaled field.
+    pub fn sim_config(&self, k: usize) -> SimConfig {
+        let mut c = SimConfig::paper(self.n_nodes, self.base_seed + k as u64);
+        c.field = self.field();
+        c
+    }
+}
+
+impl std::fmt::Display for DenseScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} nodes @ {} dev/km²", self.n_nodes, self.per_km2)
+    }
+}
 
 /// Scale knobs of an experiment run.
 #[derive(Debug, Clone)]
@@ -19,6 +92,9 @@ pub struct ExperimentScale {
     pub paper: bool,
     /// FAST99 samples per parameter (sensitivity experiment only).
     pub fast_samples: usize,
+    /// Beyond-paper dense scenarios (`--dense nodes@density,...`); the
+    /// scale experiments iterate these.
+    pub dense: Vec<DenseScenario>,
 }
 
 impl Default for ExperimentScale {
@@ -30,6 +106,7 @@ impl Default for ExperimentScale {
             densities: vec![Density::D100],
             paper: false,
             fast_samples: 129,
+            dense: vec![DenseScenario::PRESETS[0]],
         }
     }
 }
@@ -44,6 +121,7 @@ impl ExperimentScale {
             densities: Density::ALL.to_vec(),
             paper: true,
             fast_samples: 1001,
+            dense: DenseScenario::PRESETS.to_vec(),
         }
     }
 
@@ -68,7 +146,9 @@ impl ExperimentScale {
                     scale.fast_samples = expect_num(&mut it, "--fast-samples") as usize
                 }
                 "--densities" => {
-                    let v = it.next().unwrap_or_else(|| panic!("--densities needs a value"));
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--densities needs a value"));
                     scale.densities = v
                         .split(',')
                         .map(|d| {
@@ -77,10 +157,32 @@ impl ExperimentScale {
                         })
                         .collect();
                 }
+                "--dense" => {
+                    let v = it.next().unwrap_or_else(|| panic!("--dense needs a value"));
+                    scale.dense = v
+                        .split(',')
+                        .map(|spec| {
+                            let (nodes, density) =
+                                spec.trim().split_once('@').unwrap_or_else(|| {
+                                    panic!("--dense wants nodes@density, got {spec}")
+                                });
+                            DenseScenario::new(
+                                density
+                                    .trim()
+                                    .parse()
+                                    .unwrap_or_else(|_| panic!("bad density {density}")),
+                                nodes
+                                    .trim()
+                                    .parse()
+                                    .unwrap_or_else(|_| panic!("bad node count {nodes}")),
+                            )
+                        })
+                        .collect();
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --paper | --reps N --evals N --networks N \
-                         --densities 100,200,300 --fast-samples N"
+                         --densities 100,200,300 --dense 500@200,750@300 --fast-samples N"
                     );
                     std::process::exit(0);
                 }
@@ -148,5 +250,53 @@ mod tests {
     #[should_panic(expected = "numeric")]
     fn bad_number_panics() {
         let _ = parse(&["--reps", "x"]);
+    }
+
+    #[test]
+    fn dense_scenarios_hold_density_while_scaling() {
+        let d = DenseScenario::new(200, 500);
+        let field = d.field();
+        // 500 nodes at 200/km² need 2.5 km² => side ≈ 1581 m
+        assert!((field.area() - 2.5e6).abs() < 1.0, "area {}", field.area());
+        assert!((field.width - 1581.14).abs() < 0.1);
+        let c = d.sim_config(0);
+        assert_eq!(c.n_nodes, 500);
+        assert_eq!(c.radio.default_tx_dbm, 16.02);
+        // fixed networks: seeds deterministic and distinct
+        assert_eq!(d.sim_config(3).seed, d.sim_config(3).seed);
+        assert_ne!(d.sim_config(0).seed, d.sim_config(1).seed);
+    }
+
+    #[test]
+    fn dense_presets_meet_scale_floor() {
+        for p in DenseScenario::PRESETS {
+            assert!(p.per_km2 >= 200, "{p}");
+            assert!(p.n_nodes >= 500, "{p}");
+        }
+    }
+
+    #[test]
+    fn dense_flag_parses() {
+        let s = parse(&["--dense", "600@250, 800@300"]);
+        assert_eq!(s.dense.len(), 2);
+        assert_eq!(s.dense[0].n_nodes, 600);
+        assert_eq!(s.dense[0].per_km2, 250);
+        assert_eq!(s.dense[1].n_nodes, 800);
+        assert_eq!(s.dense[1].per_km2, 300);
+    }
+
+    #[test]
+    fn dense_simulation_is_tractable() {
+        // A full 500-node broadcast simulation must run end to end — the
+        // workload the spatial grid exists for.
+        use aedb::params::AedbParams;
+        use aedb::protocol::Aedb;
+        use manet::sim::Simulator;
+        let d = DenseScenario::new(200, 500);
+        let cfg = d.sim_config(0);
+        let n = cfg.n_nodes;
+        let report = Simulator::new(cfg, Aedb::new(n, AedbParams::default_config())).run();
+        assert_eq!(report.n_nodes, 500);
+        assert!(report.counters.beacons_sent > 10_000);
     }
 }

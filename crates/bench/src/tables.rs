@@ -10,7 +10,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -34,7 +37,11 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let sep: String = width.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+        let sep: String = width
+            .iter()
+            .map(|w| format!("+{}", "-".repeat(w + 2)))
+            .collect::<String>()
+            + "+\n";
         out.push_str(&sep);
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();

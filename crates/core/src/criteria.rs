@@ -30,7 +30,10 @@ impl SearchCriteria {
     /// Panics if `groups` is empty or any group is empty.
     pub fn new(groups: Vec<Vec<usize>>) -> Self {
         assert!(!groups.is_empty(), "need at least one search criterion");
-        assert!(groups.iter().all(|g| !g.is_empty()), "criteria groups must be non-empty");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "criteria groups must be non-empty"
+        );
         Self { groups }
     }
 

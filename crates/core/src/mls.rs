@@ -189,8 +189,23 @@ impl Mls {
     /// Runs the search. Thread interleaving makes multi-thread runs
     /// non-deterministic in general; a `1 population × 1 thread`
     /// configuration is fully deterministic for a given seed.
+    ///
+    /// Every worker's starting point is drawn up front and evaluated
+    /// through the problem's **batched** pipeline
+    /// ([`Problem::evaluate_batch`]) before the worker threads spawn —
+    /// on expensive simulation problems the whole multi-start
+    /// initialisation fans out across cores (and dedupes via the
+    /// problem's cache) instead of trickling in one evaluation per
+    /// worker.
     pub fn optimize(&self, problem: &dyn Problem, seed: u64) -> crate::mls::MlsResult {
-        self.optimize_from(problem, seed, &[])
+        let cfg = &self.config;
+        let total = cfg.n_populations * cfg.threads_per_population;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA7C_41D5_EED0_0113);
+        let xs: Vec<Vec<f64>> = (0..total)
+            .map(|_| uniform_init(problem.bounds(), &mut rng))
+            .collect();
+        let init = problem.make_candidates(xs);
+        self.optimize_impl(problem, seed, &init, init.len() as u64)
     }
 
     /// Like [`optimize`](Self::optimize), but workers start from the given
@@ -206,6 +221,20 @@ impl Mls {
         seed: u64,
         seeds: &[Candidate],
     ) -> crate::mls::MlsResult {
+        self.optimize_impl(problem, seed, seeds, 0)
+    }
+
+    /// Shared engine behind [`optimize`](Self::optimize) /
+    /// [`optimize_from`](Self::optimize_from); `pre_evals` counts
+    /// evaluations already spent producing `seeds` (the batched
+    /// initialisation) so result bookkeeping stays exact.
+    fn optimize_impl(
+        &self,
+        problem: &dyn Problem,
+        seed: u64,
+        seeds: &[Candidate],
+        pre_evals: u64,
+    ) -> crate::mls::MlsResult {
         let start = Instant::now();
         let cfg = &self.config;
         let n_params = problem.bounds().len();
@@ -216,8 +245,9 @@ impl Mls {
         let populations: Vec<RwLock<Vec<Candidate>>> = (0..cfg.n_populations)
             .map(|_| RwLock::new(vec![Candidate::new(vec![]); cfg.threads_per_population]))
             .collect();
-        let barriers: Vec<Barrier> =
-            (0..cfg.n_populations).map(|_| Barrier::new(cfg.threads_per_population)).collect();
+        let barriers: Vec<Barrier> = (0..cfg.n_populations)
+            .map(|_| Barrier::new(cfg.threads_per_population))
+            .collect();
 
         let archive_capacity = cfg.archive_capacity;
         let archive_bisections = cfg.archive_bisections;
@@ -259,7 +289,10 @@ impl Mls {
                     let worker_seed =
                         seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul((p * 1024 + k + 1) as u64));
                     let idx = p * cfg.threads_per_population + k;
-                    let start_from = seeds.get(idx % seeds.len().max(1)).filter(|_| !seeds.is_empty()).cloned();
+                    let start_from = seeds
+                        .get(idx % seeds.len().max(1))
+                        .filter(|_| !seeds.is_empty())
+                        .cloned();
                     scope.spawn(move || {
                         worker_loop(
                             problem,
@@ -284,7 +317,7 @@ impl Mls {
         let front = archive_out.expect("archive thread did not return");
         MlsResult {
             front,
-            evaluations: evals.load(Ordering::Relaxed),
+            evaluations: pre_evals + evals.load(Ordering::Relaxed),
             elapsed: start.elapsed(),
         }
     }
@@ -356,7 +389,11 @@ fn worker_loop(
         let mut x = s.params.clone();
         for &pidx in group {
             let (lo, hi) = bounds.get(pidx);
-            let tp = if pidx < t.params.len() { t.params[pidx] } else { x[pidx] };
+            let tp = if pidx < t.params.len() {
+                t.params[pidx]
+            } else {
+                x[pidx]
+            };
             if (x[pidx] - tp).abs() > 0.0 {
                 x[pidx] = blx_alpha_step(x[pidx], tp, cfg.alpha, &mut rng);
             } else {
@@ -381,8 +418,7 @@ fn worker_loop(
             let accept = match cfg.acceptance {
                 AcceptanceRule::AnyFeasible => true,
                 AcceptanceRule::NonDominated => {
-                    !s.is_evaluated()
-                        || constrained_dominance(&s, &cand) != DominanceOrd::Dominates
+                    !s.is_evaluated() || constrained_dominance(&s, &cand) != DominanceOrd::Dominates
                 }
             };
             let _ = tx.send(ArchiveMsg::Submit(cand.clone()));
@@ -393,7 +429,10 @@ fn worker_loop(
         }
 
         // Lines 13–16: periodic reinitialisation from the archive.
-        if cfg.reinit && iter.is_multiple_of(cfg.reset_iterations) && my_evals < cfg.evals_per_thread {
+        if cfg.reinit
+            && iter.is_multiple_of(cfg.reset_iterations)
+            && my_evals < cfg.evals_per_thread
+        {
             let (rtx, rrx) = bounded(1);
             if tx.send(ArchiveMsg::Sample(rtx)).is_ok() {
                 if let Ok(Some(elite)) = rrx.recv() {
@@ -452,8 +491,17 @@ mod tests {
         let mls = Mls::new(MlsConfig::quick(2, 4, 150));
         let r = mls.optimize(&Schaffer::new(), 7);
         assert!(!r.front.is_empty());
-        let inside = r.front.iter().filter(|c| c.params[0] > -1.0 && c.params[0] < 3.0).count();
-        assert!(inside * 10 >= r.front.len() * 8, "{}/{}", inside, r.front.len());
+        let inside = r
+            .front
+            .iter()
+            .filter(|c| c.params[0] > -1.0 && c.params[0] < 3.0)
+            .count();
+        assert!(
+            inside * 10 >= r.front.len() * 8,
+            "{}/{}",
+            inside,
+            r.front.len()
+        );
     }
 
     #[test]
@@ -481,8 +529,11 @@ mod tests {
             let c = problem.make_candidate(uniform_init(problem.bounds(), &mut rng));
             archive.try_insert(c);
         }
-        let rand_front: Vec<Vec<f64>> =
-            archive.members().iter().map(|c| c.objectives.clone()).collect();
+        let rand_front: Vec<Vec<f64>> = archive
+            .members()
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect();
         let hv_rand = hypervolume(&rand_front, &[1.1, 1.1]);
         assert!(hv_mls > hv_rand, "mls {hv_mls} vs random {hv_rand}");
         assert!(hv_mls > 0.1, "hv = {hv_mls}");
@@ -520,8 +571,14 @@ mod tests {
         let a = mls.optimize(&p, 99);
         let b = mls.optimize(&p, 99);
         assert_eq!(
-            a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
-            b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+            a.front
+                .iter()
+                .map(|c| c.objectives.clone())
+                .collect::<Vec<_>>(),
+            b.front
+                .iter()
+                .map(|c| c.objectives.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -563,13 +620,25 @@ mod tests {
         let r = mls.optimize(&Schaffer::new(), 13);
         assert!(!r.front.is_empty());
         assert_eq!(r.evaluations, 400);
-        let inside = r.front.iter().filter(|c| c.params[0] > -1.0 && c.params[0] < 3.0).count();
-        assert!(inside * 10 >= r.front.len() * 8, "{}/{}", inside, r.front.len());
+        let inside = r
+            .front
+            .iter()
+            .filter(|c| c.params[0] > -1.0 && c.params[0] < 3.0)
+            .count();
+        assert!(
+            inside * 10 >= r.front.len() * 8,
+            "{}/{}",
+            inside,
+            r.front.len()
+        );
     }
 
     #[test]
     fn reinit_disabled_runs_to_budget() {
-        let cfg = MlsConfig { reinit: false, ..MlsConfig::quick(2, 2, 120) };
+        let cfg = MlsConfig {
+            reinit: false,
+            ..MlsConfig::quick(2, 2, 120)
+        };
         let mls = Mls::new(cfg);
         let r = mls.optimize(&Zdt1::new(4), 17);
         assert_eq!(r.evaluations, 2 * 2 * 120);
@@ -601,7 +670,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "criteria reference parameter")]
     fn criteria_arity_checked() {
-        let cfg = MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::quick(1, 1, 10) };
+        let cfg = MlsConfig {
+            criteria: CriteriaChoice::Aedb,
+            ..MlsConfig::quick(1, 1, 10)
+        };
         let mls = Mls::new(cfg);
         let _ = mls.optimize(&Schaffer::new(), 1); // Schaffer has 1 param
     }

@@ -63,7 +63,12 @@ impl Fast99 {
     /// A standard configuration: `M = 4`, random phases.
     pub fn new(n_params: usize, n_samples: usize) -> Self {
         assert!(n_params >= 1);
-        Self { n_params, n_samples: n_samples.max(64), harmonics: 4, phase_seed: 0x5EED }
+        Self {
+            n_params,
+            n_samples: n_samples.max(64),
+            harmonics: 4,
+            phase_seed: 0x5EED,
+        }
     }
 
     /// Number of model evaluations the full analysis performs
@@ -92,7 +97,13 @@ impl Fast99 {
         }
         let max_c = (self.omega_max() / (2 * self.harmonics)).max(1);
         (0..k)
-            .map(|j| if k == 1 { max_c.max(1) / 2 + 1 } else { 1 + (j * (max_c - 1)) / (k - 1).max(1) })
+            .map(|j| {
+                if k == 1 {
+                    max_c.max(1) / 2 + 1
+                } else {
+                    1 + (j * (max_c - 1)) / (k - 1).max(1)
+                }
+            })
             .map(|f| f.max(1))
             .collect()
     }
@@ -117,8 +128,9 @@ impl Fast99 {
         // Random phase shift per parameter (re-seeded per target so designs
         // are reproducible independently).
         let mut rng = SmallRng::seed_from_u64(self.phase_seed.wrapping_add(target as u64));
-        let phases: Vec<f64> =
-            (0..self.n_params).map(|_| rng.gen_range(0.0..(2.0 * PI))).collect();
+        let phases: Vec<f64> = (0..self.n_params)
+            .map(|_| rng.gen_range(0.0..(2.0 * PI)))
+            .collect();
         (0..n)
             .map(|j| {
                 // s spans (−π, π)
@@ -167,7 +179,10 @@ impl Fast99 {
         }
         let total_var: f64 = spectrum[1..].iter().sum();
         if total_var <= 0.0 {
-            return Indices { first_order: 0.0, total: 0.0 };
+            return Indices {
+                first_order: 0.0,
+                total: 0.0,
+            };
         }
         // First order: harmonics of ω_max.
         let mut v_i = 0.0;
@@ -261,7 +276,12 @@ mod tests {
             }
         }
         // the driven parameter sweeps essentially the whole range
-        assert!(lo[1] < 0.05 && hi[1] > 0.95, "target range [{}, {}]", lo[1], hi[1]);
+        assert!(
+            lo[1] < 0.05 && hi[1] > 0.95,
+            "target range [{}, {}]",
+            lo[1],
+            hi[1]
+        );
     }
 
     #[test]
@@ -343,8 +363,16 @@ mod tests {
             let x: Vec<f64> = u.iter().map(|v| -PI + 2.0 * PI * v).collect();
             x[0].sin() + 7.0 * x[1].sin().powi(2) + 0.1 * x[2].powi(4) * x[0].sin()
         });
-        assert!((idx[0].first_order - 0.31).abs() < 0.08, "S1 = {:?}", idx[0]);
-        assert!((idx[1].first_order - 0.44).abs() < 0.08, "S2 = {:?}", idx[1]);
+        assert!(
+            (idx[0].first_order - 0.31).abs() < 0.08,
+            "S1 = {:?}",
+            idx[0]
+        );
+        assert!(
+            (idx[1].first_order - 0.44).abs() < 0.08,
+            "S2 = {:?}",
+            idx[1]
+        );
         assert!(idx[2].first_order < 0.05, "S3 = {:?}", idx[2]);
         assert!(idx[2].interaction() > 0.1, "ST3-S3 = {:?}", idx[2]);
     }

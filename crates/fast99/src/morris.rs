@@ -46,7 +46,12 @@ impl Morris {
     pub fn new(n_params: usize, n_trajectories: usize) -> Self {
         assert!(n_params >= 1);
         assert!(n_trajectories >= 2);
-        Self { n_params, n_trajectories, levels: 4, seed: 0x30B1_5EED }
+        Self {
+            n_params,
+            n_trajectories,
+            levels: 4,
+            seed: 0x30B1_5EED,
+        }
     }
 
     /// Model evaluations the full screening performs.
@@ -115,7 +120,11 @@ impl Morris {
                 let mu = es.iter().sum::<f64>() / n;
                 let mu_star = es.iter().map(|e| e.abs()).sum::<f64>() / n;
                 let var = es.iter().map(|e| (e - mu) * (e - mu)).sum::<f64>() / (n - 1.0).max(1.0);
-                EffectStats { mu, mu_star, sigma: var.sqrt() }
+                EffectStats {
+                    mu,
+                    mu_star,
+                    sigma: var.sqrt(),
+                }
             })
             .collect()
     }
@@ -141,7 +150,11 @@ mod tests {
         assert_eq!(signs.len(), 4);
         // consecutive points differ in exactly one coordinate
         for w in pts.windows(2) {
-            let diffs = w[0].iter().zip(&w[1]).filter(|(a, b)| (*a - *b).abs() > 1e-12).count();
+            let diffs = w[0]
+                .iter()
+                .zip(&w[1])
+                .filter(|(a, b)| (*a - *b).abs() > 1e-12)
+                .count();
             assert_eq!(diffs, 1, "{w:?}");
         }
         // all coordinates stay in the unit cube
@@ -179,8 +192,10 @@ mod tests {
         let m = Morris::new(2, 20);
         let additive = m.analyze(|x| x[0] + x[1]);
         let multiplicative = m.analyze(|x| 4.0 * x[0] * x[1]);
-        assert!(multiplicative[0].sigma > additive[0].sigma + 0.1,
-            "σ should flag the interaction: {multiplicative:?} vs {additive:?}");
+        assert!(
+            multiplicative[0].sigma > additive[0].sigma + 0.1,
+            "σ should flag the interaction: {multiplicative:?} vs {additive:?}"
+        );
     }
 
     #[test]

@@ -56,12 +56,24 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time `0`.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time: the timestamp of the last popped event.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Empties the queue and rewinds the clock to `0`, retaining the heap
+    /// allocation (the reusable simulator resets between runs).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.seq = 0;
+        self.now = 0.0;
     }
 
     /// Schedules `payload` at absolute time `time`.
@@ -70,7 +82,11 @@ impl<E> EventQueue<E> {
     /// Panics if `time` is NaN or lies in the past.
     pub fn schedule(&mut self, time: f64, payload: E) {
         assert!(!time.is_nan(), "cannot schedule at NaN");
-        assert!(time >= self.now, "cannot schedule in the past: {time} < {}", self.now);
+        assert!(
+            time >= self.now,
+            "cannot schedule in the past: {time} < {}",
+            self.now
+        );
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, payload });

@@ -37,7 +37,10 @@ impl Vec2 {
 
     /// Unit vector with the given angle (radians).
     pub fn from_angle(theta: f64) -> Self {
-        Self { x: theta.cos(), y: theta.sin() }
+        Self {
+            x: theta.cos(),
+            y: theta.sin(),
+        }
     }
 }
 
@@ -74,7 +77,10 @@ pub struct Field {
 impl Field {
     /// Creates a field; dimensions must be positive and finite.
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "field dimensions must be positive");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "field dimensions must be positive"
+        );
         assert!(width.is_finite() && height.is_finite());
         Self { width, height }
     }

@@ -1,0 +1,220 @@
+//! A uniform spatial grid over the simulation [`Field`] used to answer
+//! "which nodes can possibly hear this transmission?" without scanning all
+//! `n` nodes.
+//!
+//! The grid buckets node positions into square cells whose edge is the
+//! **maximum radio range** (the distance at which a frame sent at the
+//! default/maximum power fades to the receiver sensitivity). A delivery
+//! query for a transmission at power `tx_dbm` then only has to visit the
+//! cells overlapping a disc of radius `range(tx_dbm) ≤ cell` around the
+//! sender — at most a 3 × 3 block — instead of the whole field.
+//!
+//! Two design points keep the index *exact* (bit-identical to a full
+//! scan, which `tests/determinism.rs` asserts):
+//!
+//! 1. The grid is a **conservative pre-filter**: candidates still undergo
+//!    the precise received-power test, so a few extra candidates cost a
+//!    little time but can never change the outcome. The query radius is
+//!    inflated by a small epsilon so floating-point rounding at the range
+//!    boundary cannot exclude a node the exact test would accept.
+//! 2. Node positions move between rebuilds, so queries add a **staleness
+//!    margin** `v_max · (t_query − t_build)`: a node's true position can
+//!    drift at most that far from its bucketed position. This lets the
+//!    simulator rebuild the grid on a coarse time horizon (amortising the
+//!    O(n) rebuild over many queries) while staying exact.
+
+use crate::geometry::{Field, Vec2};
+
+/// Bucketed node positions with linked-list cells (no per-query
+/// allocation; rebuilds reuse every buffer).
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    /// Cell edge length (m).
+    cell: f64,
+    /// Number of cell columns.
+    cols: usize,
+    /// Number of cell rows.
+    rows: usize,
+    /// Head node index per cell (`usize::MAX` = empty).
+    heads: Vec<usize>,
+    /// Next node index in the same cell (`usize::MAX` = end).
+    next: Vec<usize>,
+    /// Node positions captured at the last rebuild.
+    pos: Vec<Vec2>,
+    /// Simulation time of the last rebuild.
+    built_at: f64,
+}
+
+const NONE: usize = usize::MAX;
+
+impl SpatialGrid {
+    /// Creates a grid for `field` with the given cell edge (m), typically
+    /// the maximum radio range. Buffers start empty; call
+    /// [`rebuild`](Self::rebuild) before querying.
+    pub fn new(field: Field, cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell edge must be positive");
+        let cols = (field.width / cell).ceil().max(1.0) as usize;
+        let rows = (field.height / cell).ceil().max(1.0) as usize;
+        Self {
+            cell,
+            cols,
+            rows,
+            heads: vec![NONE; cols * rows],
+            next: Vec::new(),
+            pos: Vec::new(),
+            built_at: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Cell edge length (m).
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Simulation time of the last rebuild (`-inf` before the first).
+    pub fn built_at(&self) -> f64 {
+        self.built_at
+    }
+
+    fn cell_of(&self, p: Vec2) -> usize {
+        // Positions are inside the field; clamp anyway so a boundary value
+        // (x == width) maps to the last column.
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Re-buckets all `n` nodes using `position(i)` sampled at time `t`.
+    /// Reuses every internal buffer; O(cells + n).
+    pub fn rebuild<F: FnMut(usize) -> Vec2>(&mut self, n: usize, t: f64, mut position: F) {
+        self.heads.fill(NONE);
+        self.next.clear();
+        self.next.resize(n, NONE);
+        self.pos.clear();
+        for i in 0..n {
+            let p = position(i);
+            self.pos.push(p);
+            let c = self.cell_of(p);
+            self.next[i] = self.heads[c];
+            self.heads[c] = i;
+        }
+        self.built_at = t;
+    }
+
+    /// Pushes into `out` every node whose **bucketed** position lies within
+    /// `radius` of `center` (conservative: callers must re-check candidates
+    /// against exact, current positions). `out` is appended to, unsorted.
+    pub fn candidates_within(&self, center: Vec2, radius: f64, out: &mut Vec<usize>) {
+        let r2 = radius * radius;
+        let inv = 1.0 / self.cell;
+        let cx0 = (((center.x - radius) * inv).floor().max(0.0)) as usize;
+        let cy0 = (((center.y - radius) * inv).floor().max(0.0)) as usize;
+        let cx1 = (((center.x + radius) * inv).floor())
+            .min(self.cols as f64 - 1.0)
+            .max(0.0) as usize;
+        let cy1 = (((center.y + radius) * inv).floor())
+            .min(self.rows as f64 - 1.0)
+            .max(0.0) as usize;
+        for cy in cy0..=cy1 {
+            // Closest approach of this cell row to the centre.
+            let row_lo = cy as f64 * self.cell;
+            let dy = (center.y - (center.y.clamp(row_lo, row_lo + self.cell))).abs();
+            for cx in cx0..=cx1 {
+                let col_lo = cx as f64 * self.cell;
+                let dx = (center.x - (center.x.clamp(col_lo, col_lo + self.cell))).abs();
+                if dx * dx + dy * dy > r2 {
+                    continue; // cell entirely outside the disc
+                }
+                let mut i = self.heads[cy * self.cols + cx];
+                while i != NONE {
+                    if self.pos[i].distance_sq(center) <= r2 {
+                        out.push(i);
+                    }
+                    i = self.next[i];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(pts: &[Vec2], center: Vec2, radius: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..pts.len())
+            .filter(|&i| pts[i].distance_sq(center) <= radius * radius)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_brute_force_scan() {
+        let field = Field::new(500.0, 500.0);
+        let mut grid = SpatialGrid::new(field, 140.0);
+        // Deterministic pseudo-random points.
+        let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Vec2> = (0..200)
+            .map(|_| Vec2::new(step() * 500.0, step() * 500.0))
+            .collect();
+        grid.rebuild(pts.len(), 0.0, |i| pts[i]);
+        for &(cx, cy, r) in &[
+            (250.0, 250.0, 139.0),
+            (0.0, 0.0, 100.0),
+            (499.0, 10.0, 139.9),
+            (250.0, 0.0, 50.0),
+        ] {
+            let center = Vec2::new(cx, cy);
+            let mut got = Vec::new();
+            grid.candidates_within(center, r, &mut got);
+            got.sort_unstable();
+            assert_eq!(got, brute_force(&pts, center, r), "query ({cx},{cy}) r={r}");
+        }
+    }
+
+    #[test]
+    fn rebuild_reuses_buffers_and_updates_positions() {
+        let field = Field::new(100.0, 100.0);
+        let mut grid = SpatialGrid::new(field, 50.0);
+        grid.rebuild(2, 0.0, |i| Vec2::new(10.0 + i as f64, 10.0));
+        let mut out = Vec::new();
+        grid.candidates_within(Vec2::new(10.0, 10.0), 5.0, &mut out);
+        assert_eq!(out.len(), 2);
+        // Move both nodes far away; the grid must reflect the new state.
+        grid.rebuild(2, 1.0, |_| Vec2::new(90.0, 90.0));
+        out.clear();
+        grid.candidates_within(Vec2::new(10.0, 10.0), 5.0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(grid.built_at(), 1.0);
+        out.clear();
+        grid.candidates_within(Vec2::new(90.0, 90.0), 5.0, &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn boundary_positions_bucket_into_last_cells() {
+        let field = Field::new(100.0, 100.0);
+        let mut grid = SpatialGrid::new(field, 30.0); // 4x4 cells, ragged edge
+        grid.rebuild(1, 0.0, |_| Vec2::new(100.0, 100.0));
+        let mut out = Vec::new();
+        grid.candidates_within(Vec2::new(99.0, 99.0), 2.0, &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn query_disc_larger_than_field_sees_everyone() {
+        let field = Field::new(50.0, 50.0);
+        let mut grid = SpatialGrid::new(field, 60.0); // single cell
+        grid.rebuild(5, 0.0, |i| Vec2::new(i as f64 * 10.0, 25.0));
+        let mut out = Vec::new();
+        grid.candidates_within(Vec2::new(25.0, 25.0), 1_000.0, &mut out);
+        assert_eq!(out.len(), 5);
+    }
+}

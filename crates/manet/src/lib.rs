@@ -29,6 +29,7 @@
 pub mod analysis;
 pub mod events;
 pub mod geometry;
+pub mod grid;
 pub mod metrics;
 pub mod mobility;
 pub mod neighbor;

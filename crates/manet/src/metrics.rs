@@ -14,7 +14,7 @@ use crate::sim::NodeId;
 use std::collections::HashSet;
 
 /// Metrics of a single broadcast dissemination.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BroadcastMetrics {
     /// The originating node.
     pub source: NodeId,
@@ -54,6 +54,21 @@ impl BroadcastMetrics {
             collisions: 0,
             duplicates: 0,
         }
+    }
+
+    /// Re-arms the record for a new broadcast, retaining the `covered`
+    /// set's allocation (simulator reuse).
+    pub fn reset(&mut self, source: NodeId, start_time: f64) {
+        self.source = source;
+        self.start_time = start_time;
+        self.covered.clear();
+        self.last_rx_time = start_time;
+        self.forwardings = 0;
+        self.energy_dbm_sum = 0.0;
+        self.source_tx_dbm = 0.0;
+        self.source_sent = false;
+        self.collisions = 0;
+        self.duplicates = 0;
     }
 
     /// Records a successful reception by `node` at `time`.
@@ -97,7 +112,7 @@ impl BroadcastMetrics {
 }
 
 /// Network-wide counters accumulated over a whole simulation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimCounters {
     /// Beacons transmitted.
     pub beacons_sent: u64,

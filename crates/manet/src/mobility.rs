@@ -121,8 +121,19 @@ impl RandomWaypoint {
         t0: f64,
         rng: &mut R,
     ) -> Self {
-        assert!(speed_range.0 > 0.0 && speed_range.1 >= speed_range.0, "RWP needs positive speed");
-        let mut w = Self { field, speed_range, pause, origin: start, dest: start, t0, arrival: t0 };
+        assert!(
+            speed_range.0 > 0.0 && speed_range.1 >= speed_range.0,
+            "RWP needs positive speed"
+        );
+        let mut w = Self {
+            field,
+            speed_range,
+            pause,
+            origin: start,
+            dest: start,
+            t0,
+            arrival: t0,
+        };
         w.pick_waypoint(rng);
         w
     }
@@ -135,7 +146,12 @@ impl RandomWaypoint {
         let (lo, hi) = self.speed_range;
         let speed = if hi > lo { rng.gen_range(lo..hi) } else { lo };
         let dist = self.origin.distance(self.dest);
-        self.arrival = self.t0 + if speed > 0.0 { dist / speed } else { f64::INFINITY };
+        self.arrival = self.t0
+            + if speed > 0.0 {
+                dist / speed
+            } else {
+                f64::INFINITY
+            };
     }
 }
 
@@ -244,8 +260,14 @@ mod tests {
     #[test]
     fn random_walk_stays_in_field() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut w =
-            RandomWalk::new(field(), Vec2::new(50.0, 50.0), (0.0, 2.0), 20.0, 0.0, &mut rng);
+        let mut w = RandomWalk::new(
+            field(),
+            Vec2::new(50.0, 50.0),
+            (0.0, 2.0),
+            20.0,
+            0.0,
+            &mut rng,
+        );
         let mut t = 0.0;
         for _ in 0..200 {
             t += 7.3;
@@ -260,7 +282,14 @@ mod tests {
     #[test]
     fn random_walk_speed_bounded() {
         let mut rng = SmallRng::seed_from_u64(2);
-        let w = RandomWalk::new(field(), Vec2::new(50.0, 50.0), (0.0, 2.0), 20.0, 0.0, &mut rng);
+        let w = RandomWalk::new(
+            field(),
+            Vec2::new(50.0, 50.0),
+            (0.0, 2.0),
+            20.0,
+            0.0,
+            &mut rng,
+        );
         // displacement over dt <= max_speed * dt (reflection only shortens)
         let p0 = w.position(0.0);
         let p1 = w.position(5.0);
@@ -270,26 +299,48 @@ mod tests {
     #[test]
     fn random_walk_continuous_across_advance() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let mut w =
-            RandomWalk::new(field(), Vec2::new(10.0, 10.0), (1.0, 2.0), 20.0, 0.0, &mut rng);
+        let mut w = RandomWalk::new(
+            field(),
+            Vec2::new(10.0, 10.0),
+            (1.0, 2.0),
+            20.0,
+            0.0,
+            &mut rng,
+        );
         let before = w.position(20.0);
         w.advance(&mut rng);
         let after = w.position(20.0);
-        assert!(before.distance(after) < 1e-9, "jump at waypoint: {before:?} vs {after:?}");
+        assert!(
+            before.distance(after) < 1e-9,
+            "jump at waypoint: {before:?} vs {after:?}"
+        );
     }
 
     #[test]
     fn random_walk_zero_speed_range() {
         let mut rng = SmallRng::seed_from_u64(4);
-        let w = RandomWalk::new(field(), Vec2::new(5.0, 5.0), (0.0, 0.0), 20.0, 0.0, &mut rng);
+        let w = RandomWalk::new(
+            field(),
+            Vec2::new(5.0, 5.0),
+            (0.0, 0.0),
+            20.0,
+            0.0,
+            &mut rng,
+        );
         assert_eq!(w.position(15.0), Vec2::new(5.0, 5.0));
     }
 
     #[test]
     fn waypoint_reaches_destination_and_pauses() {
         let mut rng = SmallRng::seed_from_u64(5);
-        let mut w =
-            RandomWaypoint::new(field(), Vec2::new(0.0, 0.0), (1.0, 1.0001), 2.0, 0.0, &mut rng);
+        let mut w = RandomWaypoint::new(
+            field(),
+            Vec2::new(0.0, 0.0),
+            (1.0, 1.0001),
+            2.0,
+            0.0,
+            &mut rng,
+        );
         let arrive = w.arrival;
         let dest = w.dest;
         assert!(w.position(arrive + 0.5).distance(dest) < 1e-9);
@@ -302,8 +353,14 @@ mod tests {
     #[test]
     fn waypoint_moves_toward_destination_linearly() {
         let mut rng = SmallRng::seed_from_u64(6);
-        let w =
-            RandomWaypoint::new(field(), Vec2::new(0.0, 0.0), (2.0, 2.0001), 0.0, 0.0, &mut rng);
+        let w = RandomWaypoint::new(
+            field(),
+            Vec2::new(0.0, 0.0),
+            (2.0, 2.0001),
+            0.0,
+            0.0,
+            &mut rng,
+        );
         let mid = w.position((w.t0 + w.arrival) / 2.0);
         let expect = w.origin + (w.dest - w.origin) * 0.5;
         assert!(mid.distance(expect) < 1e-6);
@@ -311,7 +368,9 @@ mod tests {
 
     #[test]
     fn stationary_never_moves() {
-        let s = Stationary { pos: Vec2::new(1.0, 2.0) };
+        let s = Stationary {
+            pos: Vec2::new(1.0, 2.0),
+        };
         assert_eq!(s.position(0.0), s.position(1e6));
         assert_eq!(s.next_change(), f64::INFINITY);
     }
@@ -338,7 +397,14 @@ mod tests {
     fn determinism_same_seed_same_trajectory() {
         let make = |seed| {
             let mut rng = SmallRng::seed_from_u64(seed);
-            RandomWalk::new(field(), Vec2::new(30.0, 30.0), (0.0, 2.0), 20.0, 0.0, &mut rng)
+            RandomWalk::new(
+                field(),
+                Vec2::new(30.0, 30.0),
+                (0.0, 2.0),
+                20.0,
+                0.0,
+                &mut rng,
+            )
         };
         let a = make(42);
         let b = make(42);

@@ -42,6 +42,11 @@ impl NeighborTable {
         self.entries.remove(&id);
     }
 
+    /// Drops every entry, retaining the map's allocation (simulator reuse).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Live entries at time `now`: beacons older than `expiry` are skipped
     /// (and lazily evicted on the next [`sweep`](Self::sweep)).
     pub fn live(&self, now: f64, expiry: f64) -> Vec<NeighborEntry> {
@@ -49,7 +54,11 @@ impl NeighborTable {
             .entries
             .iter()
             .filter(|(_, &(_, seen))| now - seen <= expiry)
-            .map(|(&id, &(rx_dbm, last_seen))| NeighborEntry { id, rx_dbm, last_seen })
+            .map(|(&id, &(rx_dbm, last_seen))| NeighborEntry {
+                id,
+                rx_dbm,
+                last_seen,
+            })
             .collect();
         // Deterministic order regardless of hash-map iteration.
         v.sort_by_key(|e| e.id);
@@ -58,7 +67,8 @@ impl NeighborTable {
 
     /// Evicts entries older than `expiry`.
     pub fn sweep(&mut self, now: f64, expiry: f64) {
-        self.entries.retain(|_, &mut (_, seen)| now - seen <= expiry);
+        self.entries
+            .retain(|_, &mut (_, seen)| now - seen <= expiry);
     }
 
     /// Total entries (including possibly stale ones).

@@ -70,7 +70,10 @@ impl Flooding {
     /// interval.
     pub fn new(n: usize, jitter: (f64, f64)) -> Self {
         assert!(jitter.0 >= 0.0 && jitter.1 >= jitter.0);
-        Self { seen: vec![false; n], jitter }
+        Self {
+            seen: vec![false; n],
+            jitter,
+        }
     }
 }
 
@@ -87,7 +90,11 @@ impl Protocol for Flooding {
         }
         self.seen[node] = true;
         let (lo, hi) = self.jitter;
-        let delay = if hi > lo { lo + api.rand() * (hi - lo) } else { lo };
+        let delay = if hi > lo {
+            lo + api.rand() * (hi - lo)
+        } else {
+            lo
+        };
         if delay > 0.0 {
             api.set_timer(node, delay, 0);
         } else {

@@ -51,7 +51,11 @@ pub enum PathLoss {
 impl PathLoss {
     /// ns-3 default log-distance model (exponent 3, 46.6777 dB @ 1 m).
     pub fn ns3_default() -> Self {
-        PathLoss::LogDistance { exponent: 3.0, reference_loss_db: 46.6777, reference_distance: 1.0 }
+        PathLoss::LogDistance {
+            exponent: 3.0,
+            reference_loss_db: 46.6777,
+            reference_distance: 1.0,
+        }
     }
 
     /// Path loss in dB at distance `d` metres. Distances below 1 mm are
@@ -59,7 +63,11 @@ impl PathLoss {
     pub fn loss_db(self, d: f64) -> f64 {
         let d = d.max(1e-3);
         match self {
-            PathLoss::LogDistance { exponent, reference_loss_db, reference_distance } => {
+            PathLoss::LogDistance {
+                exponent,
+                reference_loss_db,
+                reference_distance,
+            } => {
                 if d <= reference_distance {
                     reference_loss_db
                 } else {
@@ -71,10 +79,13 @@ impl PathLoss {
                 let ratio = 4.0 * std::f64::consts::PI * d / lambda;
                 20.0 * ratio.log10()
             }
-            PathLoss::TwoRayGround { frequency_hz, antenna_height } => {
+            PathLoss::TwoRayGround {
+                frequency_hz,
+                antenna_height,
+            } => {
                 let lambda = 299_792_458.0 / frequency_hz;
-                let crossover = 4.0 * std::f64::consts::PI * antenna_height * antenna_height
-                    / lambda;
+                let crossover =
+                    4.0 * std::f64::consts::PI * antenna_height * antenna_height / lambda;
                 if d < crossover {
                     PathLoss::Friis { frequency_hz }.loss_db(d)
                 } else {
@@ -97,12 +108,15 @@ impl PathLoss {
     pub fn range_for(self, tx_dbm: f64, rx_dbm: f64) -> f64 {
         let loss = tx_dbm - rx_dbm;
         match self {
-            PathLoss::LogDistance { exponent, reference_loss_db, reference_distance } => {
+            PathLoss::LogDistance {
+                exponent,
+                reference_loss_db,
+                reference_distance,
+            } => {
                 if loss <= reference_loss_db {
                     reference_distance
                 } else {
-                    reference_distance
-                        * 10f64.powf((loss - reference_loss_db) / (10.0 * exponent))
+                    reference_distance * 10f64.powf((loss - reference_loss_db) / (10.0 * exponent))
                 }
             }
             PathLoss::Friis { frequency_hz } => {
@@ -167,7 +181,10 @@ pub fn link_shadowing_db(sigma_db: f64, seed: u64, a: usize, b: usize) -> f64 {
     let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
     let mut h = seed ^ 0x9E37_79B9_7F4A_7C15u64;
     for v in [lo as u64, hi as u64] {
-        h ^= v.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(h << 6).wrapping_add(h >> 2);
+        h ^= v
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(h << 6)
+            .wrapping_add(h >> 2);
         h = splitmix64(h);
     }
     let u1 = (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64;
@@ -201,7 +218,8 @@ impl RadioConfig {
 
     /// Radio range (m) at the default transmit power.
     pub fn default_range(&self) -> f64 {
-        self.path_loss.range_for(self.default_tx_dbm, self.rx_sensitivity_dbm)
+        self.path_loss
+            .range_for(self.default_tx_dbm, self.rx_sensitivity_dbm)
     }
 }
 
@@ -267,16 +285,27 @@ mod tests {
     #[test]
     fn friis_known_value() {
         // 2.4 GHz, 100 m: FSPL ≈ 80.1 dB
-        let m = PathLoss::Friis { frequency_hz: 2.4e9 };
-        assert!((m.loss_db(100.0) - 80.1).abs() < 0.2, "{}", m.loss_db(100.0));
+        let m = PathLoss::Friis {
+            frequency_hz: 2.4e9,
+        };
+        assert!(
+            (m.loss_db(100.0) - 80.1).abs() < 0.2,
+            "{}",
+            m.loss_db(100.0)
+        );
         let d = m.range_for(0.0, -80.1);
         assert!((d - 100.0).abs() < 2.0);
     }
 
     #[test]
     fn two_ray_reduces_to_friis_close_in() {
-        let tr = PathLoss::TwoRayGround { frequency_hz: 2.4e9, antenna_height: 1.5 };
-        let fr = PathLoss::Friis { frequency_hz: 2.4e9 };
+        let tr = PathLoss::TwoRayGround {
+            frequency_hz: 2.4e9,
+            antenna_height: 1.5,
+        };
+        let fr = PathLoss::Friis {
+            frequency_hz: 2.4e9,
+        };
         assert_eq!(tr.loss_db(10.0), fr.loss_db(10.0));
         // far away: 40 dB/decade slope
         let l1 = tr.loss_db(1000.0);
@@ -286,7 +315,10 @@ mod tests {
 
     #[test]
     fn two_ray_range_inversion() {
-        let tr = PathLoss::TwoRayGround { frequency_hz: 2.4e9, antenna_height: 1.5 };
+        let tr = PathLoss::TwoRayGround {
+            frequency_hz: 2.4e9,
+            antenna_height: 1.5,
+        };
         let d = tr.range_for(16.0, -90.0);
         assert!((tr.rx_dbm(16.0, d) - -90.0).abs() < 1e-6);
     }
@@ -311,8 +343,9 @@ mod tests {
     fn shadowing_distribution_plausible() {
         let sigma = 6.0;
         let n = 2000;
-        let samples: Vec<f64> =
-            (0..n).map(|i| link_shadowing_db(sigma, 7, i, i + 1)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| link_shadowing_db(sigma, 7, i, i + 1))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.5, "mean = {mean}");

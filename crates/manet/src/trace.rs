@@ -147,7 +147,11 @@ impl ProtocolApi for RecordingApi<'_> {
         self.inner.set_timer(node, delay, tag);
     }
     fn transmit(&mut self, node: NodeId, tx_dbm: f64) {
-        self.log.push(TraceEvent::Transmit { node, tx_dbm, time: self.inner.now() });
+        self.log.push(TraceEvent::Transmit {
+            node,
+            tx_dbm,
+            time: self.inner.now(),
+        });
         self.inner.transmit(node, tx_dbm);
     }
     fn neighbors(&self, node: NodeId) -> Vec<crate::neighbor::NeighborEntry> {
@@ -179,20 +183,41 @@ impl<P> Traced<P> {
 
 impl<P: Protocol> Protocol for Traced<P> {
     fn on_start(&mut self, node: NodeId, api: &mut dyn ProtocolApi) {
-        self.log.push(TraceEvent::Start { node, time: api.now() });
-        let mut rec = RecordingApi { inner: api, log: &self.log };
+        self.log.push(TraceEvent::Start {
+            node,
+            time: api.now(),
+        });
+        let mut rec = RecordingApi {
+            inner: api,
+            log: &self.log,
+        };
         self.inner.on_start(node, &mut rec);
     }
 
     fn on_receive(&mut self, node: NodeId, from: NodeId, rx_dbm: f64, api: &mut dyn ProtocolApi) {
-        self.log.push(TraceEvent::Receive { node, from, rx_dbm, time: api.now() });
-        let mut rec = RecordingApi { inner: api, log: &self.log };
+        self.log.push(TraceEvent::Receive {
+            node,
+            from,
+            rx_dbm,
+            time: api.now(),
+        });
+        let mut rec = RecordingApi {
+            inner: api,
+            log: &self.log,
+        };
         self.inner.on_receive(node, from, rx_dbm, &mut rec);
     }
 
     fn on_timer(&mut self, node: NodeId, tag: u64, api: &mut dyn ProtocolApi) {
-        self.log.push(TraceEvent::Timer { node, tag, time: api.now() });
-        let mut rec = RecordingApi { inner: api, log: &self.log };
+        self.log.push(TraceEvent::Timer {
+            node,
+            tag,
+            time: api.now(),
+        });
+        let mut rec = RecordingApi {
+            inner: api,
+            log: &self.log,
+        };
         self.inner.on_timer(node, tag, &mut rec);
     }
 }

@@ -119,29 +119,34 @@ impl MoAlgorithm for CellDe {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut evals: u64 = 0;
 
-        let mut grid: Vec<Candidate> = (0..n)
-            .map(|_| {
-                evals += 1;
-                problem.make_candidate(uniform_init(bounds, &mut rng))
-            })
-            .collect();
+        let init_xs: Vec<Vec<f64>> = (0..n).map(|_| uniform_init(bounds, &mut rng)).collect();
+        evals += init_xs.len() as u64;
+        let mut grid: Vec<Candidate> = problem.make_candidates(init_xs);
         let mut archive = AgaArchive::new(cfg.archive_capacity, 5);
         for c in &grid {
             archive.try_insert(c.clone());
         }
 
         while evals < cfg.max_evaluations {
-            for cell in 0..n {
-                if evals >= cfg.max_evaluations {
-                    break;
-                }
+            // Synchronous generation: trial vectors are built against the
+            // generation-start grid and the whole generation is evaluated
+            // as ONE batch through the problem's batched pipeline;
+            // replacements then apply in cell order.
+            let trials_this_gen = n.min((cfg.max_evaluations - evals) as usize);
+            let mut trial_xs: Vec<Vec<f64>> = Vec::with_capacity(trials_this_gen);
+            for cell in 0..trials_this_gen {
                 let hood = self.neighborhood(cell);
                 // Three distinct donors from the neighbourhood.
-                let picks = distinct_indices(hood.len(), 3.min(hood.len() - 1).max(1), usize::MAX, &mut rng);
+                let picks = distinct_indices(
+                    hood.len(),
+                    3.min(hood.len() - 1).max(1),
+                    usize::MAX,
+                    &mut rng,
+                );
                 let r1 = &grid[hood[picks[0]]];
                 let r2 = &grid[hood[picks[1 % picks.len()]]];
                 let r3 = &grid[hood[picks[2 % picks.len()]]];
-                let trial_x = de_rand_1_bin(
+                trial_xs.push(de_rand_1_bin(
                     &grid[cell].params,
                     &r1.params,
                     &r2.params,
@@ -150,9 +155,12 @@ impl MoAlgorithm for CellDe {
                     cfg.de_cr,
                     bounds,
                     &mut rng,
-                );
-                evals += 1;
-                let trial = problem.make_candidate(trial_x);
+                ));
+            }
+            evals += trial_xs.len() as u64;
+            let trials = problem.make_candidates(trial_xs);
+            for (cell, trial) in trials.into_iter().enumerate() {
+                let hood = self.neighborhood(cell);
                 match constrained_dominance(&trial, &grid[cell]) {
                     DominanceOrd::Dominates => {
                         grid[cell] = trial.clone();
@@ -224,8 +232,17 @@ mod tests {
         let alg = CellDe::new(CellDeConfig::quick(6, 2500));
         let r = alg.run(&Schaffer::new(), 2);
         assert!(!r.front.is_empty());
-        let inside = r.front.iter().filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5).count();
-        assert!(inside * 10 >= r.front.len() * 9, "{}/{}", inside, r.front.len());
+        let inside = r
+            .front
+            .iter()
+            .filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5)
+            .count();
+        assert!(
+            inside * 10 >= r.front.len() * 9,
+            "{}/{}",
+            inside,
+            r.front.len()
+        );
     }
 
     #[test]
@@ -250,8 +267,14 @@ mod tests {
         let a = alg.run(&p, 10);
         let b = alg.run(&p, 10);
         assert_eq!(
-            a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
-            b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+            a.front
+                .iter()
+                .map(|c| c.objectives.clone())
+                .collect::<Vec<_>>(),
+            b.front
+                .iter()
+                .map(|c| c.objectives.clone())
+                .collect::<Vec<_>>()
         );
     }
 

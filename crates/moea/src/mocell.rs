@@ -123,22 +123,23 @@ impl MoAlgorithm for MoCell {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut evals: u64 = 0;
 
-        let mut grid: Vec<Candidate> = (0..n)
-            .map(|_| {
-                evals += 1;
-                problem.make_candidate(uniform_init(bounds, &mut rng))
-            })
-            .collect();
+        let init_xs: Vec<Vec<f64>> = (0..n).map(|_| uniform_init(bounds, &mut rng)).collect();
+        evals += init_xs.len() as u64;
+        let mut grid: Vec<Candidate> = problem.make_candidates(init_xs);
         let mut archive = AgaArchive::new(cfg.archive_capacity, 5);
         for c in &grid {
             archive.try_insert(c.clone());
         }
 
         while evals < cfg.max_evaluations {
-            for cell in 0..n {
-                if evals >= cfg.max_evaluations {
-                    break;
-                }
+            // Synchronous generation: variation reads the generation-start
+            // grid and all offspring are evaluated as ONE batch (the
+            // batched pipeline lets expensive problems fan the whole
+            // generation out at once); replacements then apply in cell
+            // order, exactly as a synchronous cellular GA updates.
+            let trials_this_gen = n.min((cfg.max_evaluations - evals) as usize);
+            let mut trial_xs: Vec<Vec<f64>> = Vec::with_capacity(trials_this_gen);
+            for cell in 0..trials_this_gen {
                 let hood = self.neighborhood(cell);
                 let hood_pop: Vec<Candidate> = hood.iter().map(|&i| grid[i].clone()).collect();
                 let p1 = binary_tournament(&hood_pop, &mut rng);
@@ -152,8 +153,12 @@ impl MoAlgorithm for MoCell {
                     &mut rng,
                 );
                 polynomial_mutation(&mut child, cfg.mutation_eta, pm, bounds, &mut rng);
-                evals += 1;
-                let child = problem.make_candidate(child);
+                trial_xs.push(child);
+            }
+            evals += trial_xs.len() as u64;
+            let trials = problem.make_candidates(trial_xs);
+            for (cell, child) in trials.into_iter().enumerate() {
+                let hood = self.neighborhood(cell);
                 match constrained_dominance(&child, &grid[cell]) {
                     DominanceOrd::Dominates => grid[cell] = child.clone(),
                     DominanceOrd::DominatedBy => {}
@@ -183,8 +188,12 @@ impl MoAlgorithm for MoCell {
             }
         }
 
-        RunResult { front: archive.into_members(), evaluations: evals, elapsed: start.elapsed() }
-            .sanitize()
+        RunResult {
+            front: archive.into_members(),
+            evaluations: evals,
+            elapsed: start.elapsed(),
+        }
+        .sanitize()
     }
 }
 
@@ -199,8 +208,17 @@ mod tests {
         let alg = MoCell::new(MoCellConfig::quick(6, 2500));
         let r = alg.run(&Schaffer::new(), 2);
         assert!(!r.front.is_empty());
-        let inside = r.front.iter().filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5).count();
-        assert!(inside * 10 >= r.front.len() * 9, "{}/{}", inside, r.front.len());
+        let inside = r
+            .front
+            .iter()
+            .filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5)
+            .count();
+        assert!(
+            inside * 10 >= r.front.len() * 9,
+            "{}/{}",
+            inside,
+            r.front.len()
+        );
     }
 
     #[test]
@@ -225,8 +243,14 @@ mod tests {
         let a = alg.run(&p, 10);
         let b = alg.run(&p, 10);
         assert_eq!(
-            a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
-            b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+            a.front
+                .iter()
+                .map(|c| c.objectives.clone())
+                .collect::<Vec<_>>(),
+            b.front
+                .iter()
+                .map(|c| c.objectives.clone())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -50,7 +50,11 @@ impl Default for Nsga2Config {
 impl Nsga2Config {
     /// A reduced-budget configuration for tests/quick experiments.
     pub fn quick(population: usize, max_evaluations: u64) -> Self {
-        Self { population, max_evaluations, ..Self::default() }
+        Self {
+            population,
+            max_evaluations,
+            ..Self::default()
+        }
     }
 }
 
@@ -70,11 +74,7 @@ impl Nsga2 {
 
 /// Tournament comparator on (rank, crowding): lower rank wins, ties by
 /// larger crowding, further ties at random.
-fn crowded_tournament<R: Rng>(
-    rank: &[usize],
-    crowd: &[f64],
-    rng: &mut R,
-) -> usize {
+fn crowded_tournament<R: Rng>(rank: &[usize], crowd: &[f64], rng: &mut R) -> usize {
     let n = rank.len();
     let a = rng.gen_range(0..n);
     let b = rng.gen_range(0..n);
@@ -111,13 +111,13 @@ impl MoAlgorithm for Nsga2 {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut evals: u64 = 0;
 
-        // Initial population.
-        let mut pop: Vec<Candidate> = (0..cfg.population)
-            .map(|_| {
-                evals += 1;
-                problem.make_candidate(uniform_init(bounds, &mut rng))
-            })
+        // Initial population, evaluated as one batch so expensive problems
+        // can parallelise across the whole generation.
+        let init_xs: Vec<Vec<f64>> = (0..cfg.population)
+            .map(|_| uniform_init(bounds, &mut rng))
             .collect();
+        evals += init_xs.len() as u64;
+        let mut pop: Vec<Candidate> = problem.make_candidates(init_xs);
 
         while evals < cfg.max_evaluations {
             // Rank/crowding of the current population for selection.
@@ -132,9 +132,13 @@ impl MoAlgorithm for Nsga2 {
                 }
             }
 
-            // Offspring generation (λ = μ).
-            let mut offspring = Vec::with_capacity(cfg.population);
-            while offspring.len() < cfg.population && evals < cfg.max_evaluations {
+            // Offspring generation (λ = μ): variation first, then the whole
+            // generation is evaluated through the batch pipeline. Selection
+            // only reads the parent population, so deferring evaluation
+            // changes neither the RNG stream nor the search trajectory.
+            let remaining = (cfg.max_evaluations - evals) as usize;
+            let mut child_xs: Vec<Vec<f64>> = Vec::with_capacity(cfg.population);
+            while child_xs.len() < cfg.population && child_xs.len() < remaining {
                 let p1 = crowded_tournament(&rank, &crowd, &mut rng);
                 let p2 = crowded_tournament(&rank, &crowd, &mut rng);
                 let (mut c1, mut c2) = sbx_crossover(
@@ -148,12 +152,13 @@ impl MoAlgorithm for Nsga2 {
                 polynomial_mutation(&mut c1, cfg.mutation_eta, pm, bounds, &mut rng);
                 polynomial_mutation(&mut c2, cfg.mutation_eta, pm, bounds, &mut rng);
                 for child in [c1, c2] {
-                    if offspring.len() < cfg.population && evals < cfg.max_evaluations {
-                        evals += 1;
-                        offspring.push(problem.make_candidate(child));
+                    if child_xs.len() < cfg.population && child_xs.len() < remaining {
+                        child_xs.push(child);
                     }
                 }
             }
+            evals += child_xs.len() as u64;
+            let offspring = problem.make_candidates(child_xs);
 
             // μ+λ environmental selection.
             pop.extend(offspring);
@@ -165,7 +170,11 @@ impl MoAlgorithm for Nsga2 {
             pop = next;
         }
 
-        let result = RunResult { front: pop, evaluations: evals, elapsed: start.elapsed() };
+        let result = RunResult {
+            front: pop,
+            evaluations: evals,
+            elapsed: start.elapsed(),
+        };
         result.sanitize()
     }
 }
@@ -183,7 +192,11 @@ mod tests {
         assert!(!r.front.is_empty());
         assert_eq!(r.evaluations, 2000);
         // Pareto set is x in [0,2]: most solutions should be close.
-        let inside = r.front.iter().filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5).count();
+        let inside = r
+            .front
+            .iter()
+            .filter(|c| c.params[0] > -0.5 && c.params[0] < 2.5)
+            .count();
         assert!(
             inside * 10 >= r.front.len() * 9,
             "{} of {} near the Pareto set",
@@ -227,8 +240,14 @@ mod tests {
         assert_eq!(pa, pb);
         let c = alg.run(&p, 43);
         assert_ne!(
-            a.front.iter().map(|x| x.objectives.clone()).collect::<Vec<_>>(),
-            c.front.iter().map(|x| x.objectives.clone()).collect::<Vec<_>>()
+            a.front
+                .iter()
+                .map(|x| x.objectives.clone())
+                .collect::<Vec<_>>(),
+            c.front
+                .iter()
+                .map(|x| x.objectives.clone())
+                .collect::<Vec<_>>()
         );
     }
 

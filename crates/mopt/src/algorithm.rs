@@ -30,9 +30,17 @@ impl RunResult {
     /// post-filter; algorithms should already guarantee this). When no
     /// feasible solution exists the least-violating front is kept instead.
     pub fn sanitize(mut self) -> Self {
-        let feasible: Vec<Candidate> =
-            self.front.iter().filter(|c| c.is_feasible()).cloned().collect();
-        let pool = if feasible.is_empty() { self.front.clone() } else { feasible };
+        let feasible: Vec<Candidate> = self
+            .front
+            .iter()
+            .filter(|c| c.is_feasible())
+            .cloned()
+            .collect();
+        let pool = if feasible.is_empty() {
+            self.front.clone()
+        } else {
+            feasible
+        };
         self.front = non_dominated(&pool);
         self
     }
@@ -55,7 +63,11 @@ mod tests {
     fn sanitize_filters_infeasible_and_dominated() {
         let mk = |o: &[f64], v: f64| Candidate::evaluated(vec![], o.to_vec(), v);
         let r = RunResult {
-            front: vec![mk(&[1.0, 1.0], 0.0), mk(&[2.0, 2.0], 0.0), mk(&[0.0, 0.0], 3.0)],
+            front: vec![
+                mk(&[1.0, 1.0], 0.0),
+                mk(&[2.0, 2.0], 0.0),
+                mk(&[0.0, 0.0], 3.0),
+            ],
             evaluations: 3,
             elapsed: Duration::ZERO,
         };

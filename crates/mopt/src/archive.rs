@@ -196,7 +196,8 @@ impl AgaArchive {
             // newcomer extends the range, in which case drop an occupant
             // of the most crowded cube anyway.
             if extends_range {
-                if let Some(victim) = (0..self.members.len()).find(|&i| self.cubes[i] == crowded_cube)
+                if let Some(victim) =
+                    (0..self.members.len()).find(|&i| self.cubes[i] == crowded_cube)
                 {
                     self.remove_at(victim);
                     self.push_member(c);
@@ -209,7 +210,9 @@ impl AgaArchive {
 
     /// Offers every candidate in `iter`; returns how many were added.
     pub fn extend<I: IntoIterator<Item = Candidate>>(&mut self, iter: I) -> usize {
-        iter.into_iter().filter(|c| self.try_insert(c.clone()) == InsertOutcome::Added).count()
+        iter.into_iter()
+            .filter(|c| self.try_insert(c.clone()) == InsertOutcome::Added)
+            .count()
     }
 
     // ----- internal grid machinery -------------------------------------
@@ -286,7 +289,11 @@ impl AgaArchive {
         let mut idx = 0u64;
         for (d, &v) in obj.iter().enumerate() {
             let span = self.upper[d] - self.lower[d];
-            let t = if span > 0.0 { ((v - self.lower[d]) / span).clamp(0.0, 1.0) } else { 0.0 };
+            let t = if span > 0.0 {
+                ((v - self.lower[d]) / span).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             let cell = ((t * div as f64) as u64).min(div - 1);
             idx = idx * div + cell;
         }
@@ -311,9 +318,9 @@ impl AgaArchive {
         }
         let m = self.members[0].objectives.len();
         for d in 0..m {
-            if let Some(best) = (0..n)
-                .min_by(|&a, &b| self.members[a].objectives[d].total_cmp(&self.members[b].objectives[d]))
-            {
+            if let Some(best) = (0..n).min_by(|&a, &b| {
+                self.members[a].objectives[d].total_cmp(&self.members[b].objectives[d])
+            }) {
                 extreme[best] = true;
             }
         }
@@ -362,7 +369,10 @@ impl CrowdingArchive {
     /// Creates an empty archive with the given capacity (≥ 1).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1);
-        Self { capacity, members: Vec::with_capacity(capacity + 1) }
+        Self {
+            capacity,
+            members: Vec::with_capacity(capacity + 1),
+        }
     }
 
     /// Current number of stored solutions.
@@ -594,8 +604,10 @@ mod tests {
     #[test]
     fn elite_archive_trait_dispatch() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let mut archives: Vec<Box<dyn EliteArchive>> =
-            vec![Box::new(AgaArchive::new(4, 3)), Box::new(CrowdingArchive::new(4))];
+        let mut archives: Vec<Box<dyn EliteArchive>> = vec![
+            Box::new(AgaArchive::new(4, 3)),
+            Box::new(CrowdingArchive::new(4)),
+        ];
         for a in &mut archives {
             assert!(a.sample_random(&mut rng).is_none());
             a.offer(cand(&[0.0, 1.0]));

@@ -92,7 +92,11 @@ pub fn non_dominated(set: &[Candidate]) -> Vec<Candidate> {
 pub fn count_dominated_by(front: &[Candidate], other: &[Candidate]) -> usize {
     front
         .iter()
-        .filter(|a| other.iter().any(|b| constrained_dominance(b, a) == DominanceOrd::Dominates))
+        .filter(|a| {
+            other
+                .iter()
+                .any(|b| constrained_dominance(b, a) == DominanceOrd::Dominates)
+        })
         .count()
 }
 
@@ -106,17 +110,35 @@ mod tests {
 
     #[test]
     fn plain_dominance_cases() {
-        assert_eq!(pareto_dominance(&[1.0, 1.0], &[2.0, 2.0]), DominanceOrd::Dominates);
-        assert_eq!(pareto_dominance(&[2.0, 2.0], &[1.0, 1.0]), DominanceOrd::DominatedBy);
-        assert_eq!(pareto_dominance(&[1.0, 2.0], &[2.0, 1.0]), DominanceOrd::Indifferent);
-        assert_eq!(pareto_dominance(&[1.0, 1.0], &[1.0, 1.0]), DominanceOrd::Indifferent);
+        assert_eq!(
+            pareto_dominance(&[1.0, 1.0], &[2.0, 2.0]),
+            DominanceOrd::Dominates
+        );
+        assert_eq!(
+            pareto_dominance(&[2.0, 2.0], &[1.0, 1.0]),
+            DominanceOrd::DominatedBy
+        );
+        assert_eq!(
+            pareto_dominance(&[1.0, 2.0], &[2.0, 1.0]),
+            DominanceOrd::Indifferent
+        );
+        assert_eq!(
+            pareto_dominance(&[1.0, 1.0], &[1.0, 1.0]),
+            DominanceOrd::Indifferent
+        );
         // weak dominance: equal in one, better in the other
-        assert_eq!(pareto_dominance(&[1.0, 1.0], &[1.0, 2.0]), DominanceOrd::Dominates);
+        assert_eq!(
+            pareto_dominance(&[1.0, 1.0], &[1.0, 2.0]),
+            DominanceOrd::Dominates
+        );
     }
 
     #[test]
     fn nan_is_indifferent() {
-        assert_eq!(pareto_dominance(&[f64::NAN], &[1.0]), DominanceOrd::Indifferent);
+        assert_eq!(
+            pareto_dominance(&[f64::NAN], &[1.0]),
+            DominanceOrd::Indifferent
+        );
     }
 
     #[test]
@@ -124,7 +146,10 @@ mod tests {
         let good = cand(&[100.0, 100.0], 0.0);
         let bad = cand(&[0.0, 0.0], 0.1);
         assert_eq!(constrained_dominance(&good, &bad), DominanceOrd::Dominates);
-        assert_eq!(constrained_dominance(&bad, &good), DominanceOrd::DominatedBy);
+        assert_eq!(
+            constrained_dominance(&bad, &good),
+            DominanceOrd::DominatedBy
+        );
     }
 
     #[test]

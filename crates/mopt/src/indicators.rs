@@ -66,11 +66,17 @@ impl Normalizer {
 }
 
 fn euclid(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn min_dist_to_set(p: &[f64], set: &[Vec<f64>]) -> f64 {
-    set.iter().map(|q| euclid(p, q)).fold(f64::INFINITY, f64::min)
+    set.iter()
+        .map(|q| euclid(p, q))
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Generational distance: `sqrt(Σ dᵢ²)/n` where `dᵢ` is the distance from
@@ -80,7 +86,10 @@ pub fn generational_distance(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 
     if front.is_empty() || reference.is_empty() {
         return f64::INFINITY;
     }
-    let sum: f64 = front.iter().map(|p| min_dist_to_set(p, reference).powi(2)).sum();
+    let sum: f64 = front
+        .iter()
+        .map(|p| min_dist_to_set(p, reference).powi(2))
+        .sum();
     sum.sqrt() / front.len() as f64
 }
 
@@ -104,7 +113,10 @@ pub fn additive_epsilon(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
             front
                 .iter()
                 .map(|a| {
-                    a.iter().zip(r).map(|(ai, ri)| ai - ri).fold(f64::NEG_INFINITY, f64::max)
+                    a.iter()
+                        .zip(r)
+                        .map(|(ai, ri)| ai - ri)
+                        .fold(f64::NEG_INFINITY, f64::max)
                 })
                 .fold(f64::INFINITY, f64::min)
         })
@@ -115,7 +127,10 @@ pub fn additive_epsilon(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
 /// fronts: uses consecutive distances along the front plus the distances
 /// `df`, `dl` to the extreme points of the reference front. `0` = ideal.
 pub fn spread_2d(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
-    assert!(front.iter().all(|p| p.len() == 2), "spread_2d needs 2-objective fronts");
+    assert!(
+        front.iter().all(|p| p.len() == 2),
+        "spread_2d needs 2-objective fronts"
+    );
     if front.is_empty() || reference.is_empty() {
         return f64::INFINITY;
     }
@@ -124,8 +139,14 @@ pub fn spread_2d(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
     // Extreme points of the reference front: the ends of the curve when
     // walked by increasing f0 (min-f0 end pairs with the leftmost obtained
     // point, max-f0 / min-f1 end with the rightmost).
-    let ext_left = reference.iter().min_by(|a, b| a[0].total_cmp(&b[0])).unwrap();
-    let ext_right = reference.iter().max_by(|a, b| a[0].total_cmp(&b[0])).unwrap();
+    let ext_left = reference
+        .iter()
+        .min_by(|a, b| a[0].total_cmp(&b[0]))
+        .unwrap();
+    let ext_right = reference
+        .iter()
+        .max_by(|a, b| a[0].total_cmp(&b[0]))
+        .unwrap();
     let df = euclid(&pts[0], ext_left);
     let dl = euclid(pts.last().unwrap(), ext_right);
     if pts.len() == 1 {
@@ -149,7 +170,12 @@ pub fn generalized_spread(front: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
     let m = reference[0].len();
     // Extreme point of the reference front for each objective.
     let extremes: Vec<&Vec<f64>> = (0..m)
-        .map(|d| reference.iter().min_by(|a, b| a[d].total_cmp(&b[d])).unwrap())
+        .map(|d| {
+            reference
+                .iter()
+                .min_by(|a, b| a[d].total_cmp(&b[d]))
+                .unwrap()
+        })
         .collect();
     let ext_term: f64 = extremes.iter().map(|e| min_dist_to_set(e, front)).sum();
     if front.len() == 1 {
@@ -266,7 +292,10 @@ fn hv_qmc(pts: &[Vec<f64>], r: &[f64]) -> f64 {
             let u = halton(i as u64 + 1, PRIMES[d % PRIMES.len()]);
             *s = ideal[d] + u * (r[d] - ideal[d]);
         }
-        if pts.iter().any(|p| p.iter().zip(&sample).all(|(a, s)| a <= s)) {
+        if pts
+            .iter()
+            .any(|p| p.iter().zip(&sample).all(|(a, s)| a <= s))
+        {
             hits += 1;
         }
     }
@@ -331,8 +360,10 @@ mod tests {
         // identical front: eps = 0
         assert_eq!(additive_epsilon(&reference, &reference), 0.0);
         // front shifted by +0.25 everywhere: eps = 0.25
-        let shifted: Vec<Vec<f64>> =
-            reference.iter().map(|p| p.iter().map(|v| v + 0.25).collect()).collect();
+        let shifted: Vec<Vec<f64>> = reference
+            .iter()
+            .map(|p| p.iter().map(|v| v + 0.25).collect())
+            .collect();
         assert!((additive_epsilon(&shifted, &reference) - 0.25).abs() < 1e-12);
     }
 
@@ -399,10 +430,16 @@ mod tests {
 
     #[test]
     fn spread_2d_uniform_is_small() {
-        let reference: Vec<Vec<f64>> =
-            (0..=10).map(|i| vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0]).collect();
+        let reference: Vec<Vec<f64>> = (0..=10)
+            .map(|i| vec![i as f64 / 10.0, 1.0 - i as f64 / 10.0])
+            .collect();
         let uniform = reference.clone();
-        let clumped = vec![vec![0.0, 1.0], vec![0.05, 0.95], vec![0.1, 0.9], vec![1.0, 0.0]];
+        let clumped = vec![
+            vec![0.0, 1.0],
+            vec![0.05, 0.95],
+            vec![0.1, 0.9],
+            vec![1.0, 0.0],
+        ];
         let s_u = spread_2d(&uniform, &reference);
         let s_c = spread_2d(&clumped, &reference);
         assert!(s_u < s_c, "uniform {s_u} should beat clumped {s_c}");
@@ -470,7 +507,10 @@ mod tests {
     fn gd_igd_are_transposes() {
         let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
         let b = vec![vec![0.2, 0.8], vec![0.9, 0.1], vec![0.5, 0.5]];
-        assert_eq!(generational_distance(&a, &b), inverted_generational_distance(&b, &a));
+        assert_eq!(
+            generational_distance(&a, &b),
+            inverted_generational_distance(&b, &a)
+        );
     }
 
     #[test]

@@ -131,13 +131,7 @@ pub fn sbx_crossover<R: Rng>(
 /// Polynomial mutation (Deb). Each variable mutates with probability `pm`
 /// (paper baselines: `1/n`); `eta` is the distribution index (20).
 #[allow(clippy::needless_range_loop)]
-pub fn polynomial_mutation<R: Rng>(
-    x: &mut [f64],
-    eta: f64,
-    pm: f64,
-    bounds: &Bounds,
-    rng: &mut R,
-) {
+pub fn polynomial_mutation<R: Rng>(x: &mut [f64], eta: f64, pm: f64, bounds: &Bounds, rng: &mut R) {
     for i in 0..x.len() {
         if rng.gen::<f64>() > pm {
             continue;

@@ -19,13 +19,22 @@ pub struct Evaluation {
 impl Evaluation {
     /// Creates a feasible evaluation.
     pub fn feasible(objectives: Vec<f64>) -> Self {
-        Self { objectives, violation: 0.0 }
+        Self {
+            objectives,
+            violation: 0.0,
+        }
     }
 
     /// Creates an evaluation with the given constraint violation.
     pub fn with_violation(objectives: Vec<f64>, violation: f64) -> Self {
-        assert!(violation >= 0.0 && violation.is_finite(), "bad violation {violation}");
-        Self { objectives, violation }
+        assert!(
+            violation >= 0.0 && violation.is_finite(),
+            "bad violation {violation}"
+        );
+        Self {
+            objectives,
+            violation,
+        }
     }
 }
 
@@ -43,6 +52,21 @@ pub trait Problem: Sync {
     /// Evaluates a decision vector. `x.len()` must equal `bounds().len()`.
     fn evaluate(&self, x: &[f64]) -> Evaluation;
 
+    /// Evaluates a whole batch of decision vectors at once, returning one
+    /// [`Evaluation`] per input in order.
+    ///
+    /// This is the entry point of the batched evaluation pipeline:
+    /// algorithms hand an entire generation to the problem so expensive
+    /// problems can parallelise, cache and amortise work across the batch
+    /// (the AEDB problem fans the candidate × network product out over a
+    /// thread pool and dedupes repeated configurations). The default
+    /// implementation is the sequential fallback and is **semantically
+    /// binding**: any override must return exactly what per-candidate
+    /// [`evaluate`](Problem::evaluate) calls would.
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        xs.iter().map(|x| self.evaluate(x)).collect()
+    }
+
     /// Human-readable names of the objectives (minimisation form), used by
     /// the experiment harness when printing tables.
     fn objective_names(&self) -> Vec<String> {
@@ -53,6 +77,17 @@ pub trait Problem: Sync {
     fn make_candidate(&self, x: Vec<f64>) -> Candidate {
         let ev = self.evaluate(&x);
         Candidate::evaluated(x, ev.objectives, ev.violation)
+    }
+
+    /// Convenience: batch-evaluates `xs` and assembles [`Candidate`]s —
+    /// the batched counterpart of [`make_candidate`](Problem::make_candidate).
+    fn make_candidates(&self, xs: Vec<Vec<f64>>) -> Vec<Candidate> {
+        let evals = self.evaluate_batch(&xs);
+        debug_assert_eq!(evals.len(), xs.len(), "evaluate_batch arity mismatch");
+        xs.into_iter()
+            .zip(evals)
+            .map(|(x, ev)| Candidate::evaluated(x, ev.objectives, ev.violation))
+            .collect()
     }
 }
 
@@ -68,6 +103,9 @@ impl<P: Problem + ?Sized> Problem for &P {
     fn evaluate(&self, x: &[f64]) -> Evaluation {
         (**self).evaluate(x)
     }
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        (**self).evaluate_batch(xs)
+    }
     fn objective_names(&self) -> Vec<String> {
         (**self).objective_names()
     }
@@ -82,6 +120,9 @@ impl<P: Problem + ?Sized + Send> Problem for std::sync::Arc<P> {
     }
     fn evaluate(&self, x: &[f64]) -> Evaluation {
         (**self).evaluate(x)
+    }
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        (**self).evaluate_batch(xs)
     }
     fn objective_names(&self) -> Vec<String> {
         (**self).objective_names()
@@ -101,7 +142,10 @@ pub struct CountingProblem<P> {
 impl<P: Problem> CountingProblem<P> {
     /// Wraps `inner`, starting the counter at zero.
     pub fn new(inner: P) -> Self {
-        Self { inner, count: std::sync::atomic::AtomicU64::new(0) }
+        Self {
+            inner,
+            count: std::sync::atomic::AtomicU64::new(0),
+        }
     }
 
     /// Number of `evaluate` calls so far.
@@ -123,8 +167,14 @@ impl<P: Problem> Problem for CountingProblem<P> {
         self.inner.n_objectives()
     }
     fn evaluate(&self, x: &[f64]) -> Evaluation {
-        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.inner.evaluate(x)
+    }
+    fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
+        self.count
+            .fetch_add(xs.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.inner.evaluate_batch(xs)
     }
     fn objective_names(&self) -> Vec<String> {
         self.inner.objective_names()
@@ -147,7 +197,9 @@ pub mod test_problems {
         /// Creates the standard instance.
         #[allow(clippy::new_without_default)]
         pub fn new() -> Self {
-            Self { bounds: Bounds::new(vec![(-1000.0, 1000.0)]) }
+            Self {
+                bounds: Bounds::new(vec![(-1000.0, 1000.0)]),
+            }
         }
     }
 
@@ -174,7 +226,9 @@ pub mod test_problems {
         /// Creates an instance with `n` variables (`n >= 2`).
         pub fn new(n: usize) -> Self {
             assert!(n >= 2);
-            Self { bounds: Bounds::new(vec![(0.0, 1.0); n]) }
+            Self {
+                bounds: Bounds::new(vec![(0.0, 1.0); n]),
+            }
         }
     }
 
@@ -205,7 +259,9 @@ pub mod test_problems {
         /// Creates the standard instance.
         #[allow(clippy::new_without_default)]
         pub fn new() -> Self {
-            Self { bounds: Bounds::new(vec![(-1000.0, 1000.0)]) }
+            Self {
+                bounds: Bounds::new(vec![(-1000.0, 1000.0)]),
+            }
         }
     }
 
@@ -254,6 +310,66 @@ mod tests {
         let _ = p.evaluate(&[1.0]);
         let _ = p.evaluate(&[1.0]);
         assert_eq!(p.evaluations(), 2);
+    }
+
+    #[test]
+    fn batch_default_matches_per_candidate_evaluate() {
+        let p = ConstrainedSchaffer::new();
+        let xs: Vec<Vec<f64>> = vec![vec![-1.0], vec![0.0], vec![0.5], vec![2.0], vec![7.5]];
+        let batch = p.evaluate_batch(&xs);
+        assert_eq!(batch.len(), xs.len());
+        for (x, ev) in xs.iter().zip(&batch) {
+            let single = p.evaluate(x);
+            assert_eq!(ev.objectives, single.objectives);
+            assert_eq!(
+                ev.violation, single.violation,
+                "violation mismatch at {x:?}"
+            );
+        }
+        // constraint violations survive the batch path
+        assert!(batch[0].violation > 0.0);
+        assert_eq!(batch[3].violation, 0.0);
+    }
+
+    #[test]
+    fn make_candidates_matches_make_candidate() {
+        let p = ConstrainedSchaffer::new();
+        let xs: Vec<Vec<f64>> = vec![vec![0.2], vec![1.5]];
+        let batch = p.make_candidates(xs.clone());
+        for (x, c) in xs.into_iter().zip(batch) {
+            let single = p.make_candidate(x);
+            assert_eq!(c.params, single.params);
+            assert_eq!(c.objectives, single.objectives);
+            assert_eq!(c.violation, single.violation);
+        }
+    }
+
+    #[test]
+    fn counting_problem_counts_batches() {
+        let p = CountingProblem::new(Schaffer::new());
+        let xs: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64]).collect();
+        let _ = p.evaluate_batch(&xs);
+        assert_eq!(p.evaluations(), 7);
+        let _ = p.evaluate(&[1.0]);
+        assert_eq!(p.evaluations(), 8);
+    }
+
+    #[test]
+    fn batch_forwards_through_references_and_arc() {
+        let p = Schaffer::new();
+        let xs: Vec<Vec<f64>> = vec![vec![1.0], vec![3.0]];
+        let by_ref: &dyn Problem = &p;
+        assert_eq!((&by_ref).evaluate_batch(&xs).len(), 2);
+        let arc = std::sync::Arc::new(Schaffer::new());
+        let via_arc = arc.evaluate_batch(&xs);
+        assert_eq!(via_arc[1].objectives, p.evaluate(&xs[1]).objectives);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let p = Schaffer::new();
+        assert!(p.evaluate_batch(&[]).is_empty());
+        assert!(p.make_candidates(vec![]).is_empty());
     }
 
     #[test]

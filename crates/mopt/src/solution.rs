@@ -22,13 +22,21 @@ pub struct Candidate {
 impl Candidate {
     /// Creates an unevaluated candidate from a decision vector.
     pub fn new(params: Vec<f64>) -> Self {
-        Self { params, objectives: Vec::new(), violation: 0.0 }
+        Self {
+            params,
+            objectives: Vec::new(),
+            violation: 0.0,
+        }
     }
 
     /// Creates a fully evaluated candidate.
     pub fn evaluated(params: Vec<f64>, objectives: Vec<f64>, violation: f64) -> Self {
         debug_assert!(violation >= 0.0, "violation must be non-negative");
-        Self { params, objectives, violation }
+        Self {
+            params,
+            objectives,
+            violation,
+        }
     }
 
     /// Whether the candidate has been evaluated.
@@ -114,7 +122,9 @@ impl Bounds {
     /// Whether `x` lies within bounds (inclusive) in every coordinate.
     pub fn contains(&self, x: &[f64]) -> bool {
         x.len() == self.bounds.len()
-            && x.iter().zip(&self.bounds).all(|(v, &(lo, hi))| *v >= lo && *v <= hi)
+            && x.iter()
+                .zip(&self.bounds)
+                .all(|(v, &(lo, hi))| *v >= lo && *v <= hi)
     }
 
     /// Maps a point from the unit hypercube `[0,1]^n` into the bounds.
@@ -131,7 +141,13 @@ impl Bounds {
         debug_assert_eq!(x.len(), self.bounds.len());
         x.iter()
             .zip(&self.bounds)
-            .map(|(v, &(lo, hi))| if hi > lo { ((v - lo) / (hi - lo)).clamp(0.0, 1.0) } else { 0.0 })
+            .map(|(v, &(lo, hi))| {
+                if hi > lo {
+                    ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 }

@@ -119,8 +119,13 @@ mod tests {
     #[test]
     fn sorts_into_expected_fronts() {
         // Front 0: (1,3),(2,2),(3,1); Front 1: (3,3); Front 2: (4,4)
-        let pop = vec![cand(&[1.0, 3.0]), cand(&[2.0, 2.0]), cand(&[3.0, 1.0]),
-                       cand(&[3.0, 3.0]), cand(&[4.0, 4.0])];
+        let pop = vec![
+            cand(&[1.0, 3.0]),
+            cand(&[2.0, 2.0]),
+            cand(&[3.0, 1.0]),
+            cand(&[3.0, 3.0]),
+            cand(&[4.0, 4.0]),
+        ];
         let fronts = fast_non_dominated_sort(&pop);
         assert_eq!(fronts.len(), 3);
         assert_eq!(fronts[0].len(), 3);
@@ -135,7 +140,12 @@ mod tests {
 
     #[test]
     fn all_mutually_nondominated_single_front() {
-        let pop = vec![cand(&[1.0, 4.0]), cand(&[2.0, 3.0]), cand(&[3.0, 2.0]), cand(&[4.0, 1.0])];
+        let pop = vec![
+            cand(&[1.0, 4.0]),
+            cand(&[2.0, 3.0]),
+            cand(&[3.0, 2.0]),
+            cand(&[4.0, 1.0]),
+        ];
         let fronts = fast_non_dominated_sort(&pop);
         assert_eq!(fronts.len(), 1);
         assert_eq!(fronts[0].len(), 4);
@@ -153,7 +163,12 @@ mod tests {
 
     #[test]
     fn crowding_boundaries_infinite() {
-        let pop = vec![cand(&[0.0, 4.0]), cand(&[1.0, 2.0]), cand(&[2.0, 1.0]), cand(&[4.0, 0.0])];
+        let pop = vec![
+            cand(&[0.0, 4.0]),
+            cand(&[1.0, 2.0]),
+            cand(&[2.0, 1.0]),
+            cand(&[4.0, 0.0]),
+        ];
         let front: Vec<usize> = (0..4).collect();
         let d = crowding_distance(&pop, &front);
         assert!(d[0].is_infinite());
@@ -181,8 +196,10 @@ mod tests {
     #[test]
     fn selection_prefers_lower_ranks_then_spread() {
         let pop = vec![
-            cand(&[1.0, 3.0]), cand(&[2.0, 2.0]), cand(&[3.0, 1.0]), // front 0
-            cand(&[5.0, 5.0]),                                        // front 1
+            cand(&[1.0, 3.0]),
+            cand(&[2.0, 2.0]),
+            cand(&[3.0, 1.0]), // front 0
+            cand(&[5.0, 5.0]), // front 1
         ];
         let sel = select_by_rank_and_crowding(&pop, 3);
         assert_eq!(sel.len(), 3);
@@ -195,8 +212,13 @@ mod tests {
     #[test]
     fn selection_truncates_within_front_by_crowding() {
         // 5 points on a line; middle points have lowest crowding
-        let pop = vec![cand(&[0.0, 4.0]), cand(&[1.0, 3.0]), cand(&[2.0, 2.0]),
-                       cand(&[3.0, 1.0]), cand(&[4.0, 0.0])];
+        let pop = vec![
+            cand(&[0.0, 4.0]),
+            cand(&[1.0, 3.0]),
+            cand(&[2.0, 2.0]),
+            cand(&[3.0, 1.0]),
+            cand(&[4.0, 0.0]),
+        ];
         let sel = select_by_rank_and_crowding(&pop, 2);
         // must keep the two extremes (infinite crowding)
         assert!(sel.contains(&0) && sel.contains(&4));

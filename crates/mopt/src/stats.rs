@@ -24,7 +24,10 @@ pub struct Boxplot {
 /// `q` in `[0,1]`. Panics on empty input.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "percentile of empty sample");
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
     let n = sorted.len();
     if n == 1 {
         return sorted[0];
@@ -149,7 +152,12 @@ pub fn wilcoxon_rank_sum(a: &[f64], b: &[f64]) -> Option<RankSum> {
         0.0
     };
     let p = 2.0 * (1.0 - std_normal_cdf(z.abs()));
-    Some(RankSum { u: u1, z, p_value: p.clamp(0.0, 1.0), effect_sign: diff.signum() })
+    Some(RankSum {
+        u: u1,
+        z,
+        p_value: p.clamp(0.0, 1.0),
+        effect_sign: diff.signum(),
+    })
 }
 
 /// Outcome of a pairwise significance comparison, as encoded in Table IV.
@@ -177,12 +185,7 @@ impl Comparison {
 /// Compares two samples of an indicator at significance `alpha`.
 /// `smaller_is_better` selects the polarity (true for IGD/spread, false
 /// for hypervolume).
-pub fn compare_samples(
-    a: &[f64],
-    b: &[f64],
-    smaller_is_better: bool,
-    alpha: f64,
-) -> Comparison {
+pub fn compare_samples(a: &[f64], b: &[f64], smaller_is_better: bool, alpha: f64) -> Comparison {
     match wilcoxon_rank_sum(a, b) {
         Some(r) if r.p_value < alpha && r.effect_sign != 0.0 => {
             let a_larger = r.effect_sign > 0.0;
@@ -291,12 +294,27 @@ mod tests {
         let small: Vec<f64> = (0..30).map(|i| i as f64 * 0.01).collect();
         let large: Vec<f64> = (0..30).map(|i| 10.0 + i as f64 * 0.01).collect();
         // smaller-is-better indicator (e.g. IGD): `small` sample wins
-        assert_eq!(compare_samples(&small, &large, true, 0.05), Comparison::Better);
-        assert_eq!(compare_samples(&large, &small, true, 0.05), Comparison::Worse);
+        assert_eq!(
+            compare_samples(&small, &large, true, 0.05),
+            Comparison::Better
+        );
+        assert_eq!(
+            compare_samples(&large, &small, true, 0.05),
+            Comparison::Worse
+        );
         // larger-is-better (hypervolume)
-        assert_eq!(compare_samples(&small, &large, false, 0.05), Comparison::Worse);
-        assert_eq!(compare_samples(&large, &small, false, 0.05), Comparison::Better);
-        assert_eq!(compare_samples(&small, &small, false, 0.05), Comparison::NoDifference);
+        assert_eq!(
+            compare_samples(&small, &large, false, 0.05),
+            Comparison::Worse
+        );
+        assert_eq!(
+            compare_samples(&large, &small, false, 0.05),
+            Comparison::Better
+        );
+        assert_eq!(
+            compare_samples(&small, &small, false, 0.05),
+            Comparison::NoDifference
+        );
     }
 
     #[test]

@@ -12,8 +12,16 @@ fn main() {
     let evals = 200u64;
 
     let algorithms: Vec<Box<dyn MoAlgorithm>> = vec![
-        Box::new(CellDe::new(CellDeConfig { grid_side: 5, max_evaluations: evals, ..Default::default() })),
-        Box::new(Nsga2::new(Nsga2Config { population: 20, max_evaluations: evals, ..Default::default() })),
+        Box::new(CellDe::new(CellDeConfig {
+            grid_side: 5,
+            max_evaluations: evals,
+            ..Default::default()
+        })),
+        Box::new(Nsga2::new(Nsga2Config {
+            population: 20,
+            max_evaluations: evals,
+            ..Default::default()
+        })),
         // the paper gives MLS 2.4× the evaluations — it is still far faster
         // wall-clock in the parallel setting
         Box::new(Mls::new(MlsConfig {
@@ -31,8 +39,11 @@ fn main() {
             combined.try_insert(c.clone());
         }
     }
-    let reference: Vec<Vec<f64>> =
-        combined.members().iter().map(|c| c.objectives.clone()).collect();
+    let reference: Vec<Vec<f64>> = combined
+        .members()
+        .iter()
+        .map(|c| c.objectives.clone())
+        .collect();
     let norm = Normalizer::from_points(&reference).expect("non-empty reference");
     let nref = norm.apply_front(&reference);
 

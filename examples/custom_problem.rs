@@ -22,7 +22,11 @@ struct RelayPlacement {
 
 impl RelayPlacement {
     fn new() -> Self {
-        Self { bounds: Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]), a: (0.2, 0.2), b: (0.8, 0.9) }
+        Self {
+            bounds: Bounds::new(vec![(0.0, 1.0), (0.0, 1.0)]),
+            a: (0.2, 0.2),
+            b: (0.8, 0.9),
+        }
     }
 }
 
@@ -80,7 +84,10 @@ fn main() {
         let t = (((x - ax) * dx + (y - ay) * dy) / (dx * dx + dy * dy)).clamp(0.0, 1.0);
         ((x - ax - t * dx).powi(2) + (y - ay - t * dy).powi(2)).sqrt()
     };
-    let mean: f64 = front.iter().map(|c| seg_dist(c.params[0], c.params[1])).sum::<f64>()
+    let mean: f64 = front
+        .iter()
+        .map(|c| seg_dist(c.params[0], c.params[1]))
+        .sum::<f64>()
         / front.len().max(1) as f64;
     println!("\nmean distance of the front to the true Pareto segment: {mean:.4}");
 }

@@ -40,8 +40,11 @@ fn main() {
             combined.try_insert(c.clone());
         }
     }
-    let reference: Vec<Vec<f64>> =
-        combined.members().iter().map(|c| c.objectives.clone()).collect();
+    let reference: Vec<Vec<f64>> = combined
+        .members()
+        .iter()
+        .map(|c| c.objectives.clone())
+        .collect();
     let norm = Normalizer::from_points(&reference).expect("non-empty reference");
     let nref = norm.apply_front(&reference);
 

@@ -26,8 +26,7 @@ fn main() {
             // Run AEDB (hand-tuned) on the same network.
             let cfg = scenario.sim_config(k);
             let n = cfg.n_nodes;
-            let report =
-                Simulator::new(cfg, Aedb::new(n, AedbParams::default_config())).run();
+            let report = Simulator::new(cfg, Aedb::new(n, AedbParams::default_config())).run();
 
             println!(
                 "  network {k}: degree {:5.2} | components {} | source-component {:2} \
@@ -36,8 +35,7 @@ fn main() {
                 stats.n_components,
                 stats.source_component,
                 report.broadcast.coverage(),
-                100.0 * report.broadcast.coverage() as f64
-                    / stats.source_component.max(1) as f64,
+                100.0 * report.broadcast.coverage() as f64 / stats.source_component.max(1) as f64,
                 report.broadcast.forwardings,
                 report.broadcast.broadcast_time(),
             );

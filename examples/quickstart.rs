@@ -20,7 +20,11 @@ fn main() {
     };
     let mls = Mls::new(config);
 
-    println!("tuning AEDB on {} ({} evaluations)…", Density::D100, mls.config.total_evaluations());
+    println!(
+        "tuning AEDB on {} ({} evaluations)…",
+        Density::D100,
+        mls.config.total_evaluations()
+    );
     let result = mls.optimize(&problem, 42);
     println!(
         "done in {:.2?}: {} evaluations, {} non-dominated configurations\n",
@@ -29,9 +33,17 @@ fn main() {
         result.front.len()
     );
 
-    println!("{:>12} {:>10} {:>13} | {:>9} {:>9} {:>8} {:>7} {:>10}",
-             "energy(dBm)", "coverage", "forwardings",
-             "min_delay", "max_delay", "border", "margin", "neighbors");
+    println!(
+        "{:>12} {:>10} {:>13} | {:>9} {:>9} {:>8} {:>7} {:>10}",
+        "energy(dBm)",
+        "coverage",
+        "forwardings",
+        "min_delay",
+        "max_delay",
+        "border",
+        "margin",
+        "neighbors"
+    );
     let mut front = result.front.clone();
     front.sort_by(|a, b| a.objectives[0].total_cmp(&b.objectives[0]));
     for c in &front {

@@ -12,8 +12,8 @@ fn main() {
     let networks = 3;
     let samples = 65; // paper-scale analyses use 1000+
 
-    let problem =
-        AedbProblem::paper(Scenario::quick(density, networks)).with_bounds(AedbParams::sensitivity_bounds());
+    let problem = AedbProblem::paper(Scenario::quick(density, networks))
+        .with_bounds(AedbParams::sensitivity_bounds());
     let bounds = AedbParams::sensitivity_bounds();
     let fast = Fast99::new(5, samples);
 

@@ -5,23 +5,54 @@
 //! This façade crate re-exports the whole system so examples and downstream
 //! users need a single dependency:
 //!
-//! * [`manet`] — discrete-event MANET simulator (the ns-3 substitute),
-//! * [`aedb`] — the AEDB broadcast protocol and its tuning problem,
+//! * [`manet`] — discrete-event MANET simulator (the ns-3 substitute) with
+//!   a spatially-indexed, reusable core: delivery queries go through a
+//!   uniform grid over the field instead of scanning all nodes, and a
+//!   simulator instance can be [`reset`](manet::sim::Simulator::reset)
+//!   across runs without reallocating,
+//! * [`aedb`] — the AEDB broadcast protocol and its tuning problem, with
+//!   batched (candidate × network) evaluation and a quantized evaluation
+//!   cache,
 //! * [`mopt`] — multi-objective optimisation substrate (dominance, AGA
-//!   archive, quality indicators, operators, statistics),
-//! * [`moea`] — the NSGA-II and CellDE baselines,
+//!   archive, quality indicators, operators, statistics) and the
+//!   [`Problem`](mopt::problem::Problem) trait with its batched
+//!   [`evaluate_batch`](mopt::problem::Problem::evaluate_batch) entry
+//!   point,
+//! * [`moea`] — the NSGA-II, MOCell and CellDE baselines, feeding whole
+//!   generations to the problem at once,
 //! * [`mls`] — AEDB-MLS, the paper's parallel multi-objective local search,
 //! * [`fast99`] — the FAST99 global sensitivity analysis.
 //!
 //! ## Quickstart
 //!
+//! Evaluate AEDB configurations against the paper's fixed networks — one
+//! at a time or as a batch (the batch fans the candidate × network
+//! product over all cores and caches repeated configurations):
+//!
+//! ```
+//! use aedb_repro::prelude::*;
+//!
+//! // Density 100 dev/km², 2 fixed networks (10 in the paper's protocol).
+//! let problem = AedbProblem::paper(Scenario::quick(Density::D100, 2));
+//!
+//! let defaults = AedbParams::default_config().to_vec();
+//! let eager = vec![0.0, 0.2, -70.0, 1.0, 50.0];
+//! let batch = problem.evaluate_batch(&[defaults.clone(), eager]);
+//!
+//! // Minimisation form: [energy_dbm, -coverage, forwardings]; the 2 s
+//! // broadcast-time constraint is a violation scalar.
+//! assert_eq!(batch.len(), 2);
+//! assert_eq!(batch[0], problem.evaluate(&defaults)); // cached, identical
+//! assert!(batch.iter().all(|ev| ev.objectives.len() == 3 && ev.violation >= 0.0));
+//! ```
+//!
+//! A full optimisation run (laptop-sized budget; the paper uses
+//! 8 populations × 12 threads × 250 evaluations per density):
+//!
 //! ```no_run
 //! use aedb_repro::prelude::*;
 //!
-//! // The tuning problem: density 100 dev/km², the paper's 10 fixed networks.
 //! let problem = AedbProblem::paper(Scenario::paper(Density::D100));
-//!
-//! // AEDB-MLS with a laptop-sized budget (2 populations × 2 threads).
 //! let mls = Mls::new(MlsConfig::quick(2, 2, 250));
 //! let result = mls.optimize(&problem, 42);
 //!
@@ -47,11 +78,15 @@ pub mod prelude {
     pub use aedb::scenario::{Density, Scenario};
     pub use aedb_mls::criteria::SearchCriteria;
     pub use aedb_mls::hybrid::{CellDeMls, CellDeMlsConfig};
-    pub use aedb_mls::mls::{AcceptanceRule, ArchiveKind, CriteriaChoice, Mls, MlsConfig, MlsResult};
+    pub use aedb_mls::mls::{
+        AcceptanceRule, ArchiveKind, CriteriaChoice, Mls, MlsConfig, MlsResult,
+    };
     pub use fast99::{Fast99, Indices};
+    pub use manet::grid::SpatialGrid;
     pub use manet::protocol::{Flooding, Protocol, ProtocolApi, SourceOnly};
     pub use manet::sim::{SimConfig, SimReport, Simulator};
     pub use moea::cellde::{CellDe, CellDeConfig};
+    pub use moea::mocell::{MoCell, MoCellConfig};
     pub use moea::nsga2::{Nsga2, Nsga2Config};
     pub use mopt::algorithm::{MoAlgorithm, RunResult};
     pub use mopt::archive::AgaArchive;

@@ -23,37 +23,122 @@ fn fixed_networks_are_bitwise_stable() {
 #[test]
 fn nsga2_runs_are_reproducible_on_aedb() {
     let problem = AedbProblem::paper(Scenario::quick(Density::D100, 2));
-    let alg = Nsga2::new(Nsga2Config { population: 8, max_evaluations: 48, ..Default::default() });
+    let alg = Nsga2::new(Nsga2Config {
+        population: 8,
+        max_evaluations: 48,
+        ..Default::default()
+    });
     let a = alg.run(&problem, 77);
     let b = alg.run(&problem, 77);
     assert_eq!(
-        a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
-        b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+        a.front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect::<Vec<_>>(),
+        b.front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect::<Vec<_>>()
     );
 }
 
 #[test]
 fn cellde_runs_are_reproducible_on_aedb() {
     let problem = AedbProblem::paper(Scenario::quick(Density::D100, 2));
-    let alg = CellDe::new(CellDeConfig { grid_side: 3, max_evaluations: 48, ..Default::default() });
+    let alg = CellDe::new(CellDeConfig {
+        grid_side: 3,
+        max_evaluations: 48,
+        ..Default::default()
+    });
     let a = alg.run(&problem, 5);
     let b = alg.run(&problem, 5);
     assert_eq!(
-        a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
-        b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+        a.front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect::<Vec<_>>(),
+        b.front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect::<Vec<_>>()
     );
 }
 
 #[test]
 fn single_thread_mls_is_reproducible_on_aedb() {
     let problem = AedbProblem::paper(Scenario::quick(Density::D100, 2));
-    let mls = Mls::new(MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::quick(1, 1, 40) });
+    let mls = Mls::new(MlsConfig {
+        criteria: CriteriaChoice::Aedb,
+        ..MlsConfig::quick(1, 1, 40)
+    });
     let a = mls.optimize(&problem, 31);
     let b = mls.optimize(&problem, 31);
     assert_eq!(
-        a.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>(),
-        b.front.iter().map(|c| c.objectives.clone()).collect::<Vec<_>>()
+        a.front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect::<Vec<_>>(),
+        b.front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect::<Vec<_>>()
     );
+}
+
+#[test]
+fn grid_deliveries_match_naive_scan_bitwise() {
+    // The spatially-indexed delivery path must produce *byte-identical*
+    // BroadcastMetrics and SimCounters to the full O(n) receiver scan on
+    // the paper's fixed networks — same coverage set, same loss counters,
+    // same floating-point sums, for every density and protocol.
+    for density in [Density::D100, Density::D200, Density::D300] {
+        let scenario = Scenario::paper(density);
+        for k in [0usize, 4, 9] {
+            let cfg = scenario.sim_config(k);
+            let n = cfg.n_nodes;
+            // AEDB under tuning parameters
+            let params = AedbParams::default_config();
+            let mut fast = Simulator::new(cfg.clone(), Aedb::new(n, params));
+            let mut slow = Simulator::new(cfg.clone(), Aedb::new(n, params));
+            slow.set_naive_deliveries(true);
+            let (rf, rs) = (fast.run_to_end(), slow.run_to_end());
+            assert_eq!(rf.broadcast, rs.broadcast, "{density} network {k} (AEDB)");
+            assert_eq!(rf.counters, rs.counters, "{density} network {k} (AEDB)");
+            // flooding exercises max-power, high-collision regimes
+            let mut fast = Simulator::new(cfg.clone(), Flooding::new(n, (0.0, 0.1)));
+            let mut slow = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1)));
+            slow.set_naive_deliveries(true);
+            let (rf, rs) = (fast.run_to_end(), slow.run_to_end());
+            assert_eq!(
+                rf.broadcast, rs.broadcast,
+                "{density} network {k} (flooding)"
+            );
+            assert_eq!(rf.counters, rs.counters, "{density} network {k} (flooding)");
+        }
+    }
+}
+
+#[test]
+fn batch_evaluation_matches_sequential_on_fixed_networks() {
+    // The whole batched pipeline — grid simulator, thread-pool fan-out,
+    // quantized cache — must reproduce per-candidate evaluation exactly.
+    let batched = AedbProblem::paper(Scenario::quick(Density::D200, 3));
+    let sequential = AedbProblem::paper(Scenario::quick(Density::D200, 3)).with_eval_cache(false);
+    let xs: Vec<Vec<f64>> = vec![
+        AedbParams::default_config().to_vec(),
+        vec![0.0, 0.5, -75.0, 0.5, 10.0],
+        vec![0.9, 4.0, -92.0, 2.5, 45.0],
+    ];
+    let b = batched.evaluate_batch(&xs);
+    for (x, ev) in xs.iter().zip(&b) {
+        let s = sequential.evaluate(x);
+        assert_eq!(ev.objectives, s.objectives);
+        assert_eq!(ev.violation, s.violation);
+    }
+    // and a second pass is served entirely from the cache, unchanged
+    let again = batched.evaluate_batch(&xs);
+    assert_eq!(b, again);
+    assert!(batched.cache_stats().0 >= xs.len() as u64);
 }
 
 #[test]

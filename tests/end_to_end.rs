@@ -11,14 +11,21 @@ fn quick_problem() -> AedbProblem {
 #[test]
 fn mls_tunes_aedb() {
     let problem = quick_problem();
-    let mls = Mls::new(MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::quick(2, 2, 40) });
+    let mls = Mls::new(MlsConfig {
+        criteria: CriteriaChoice::Aedb,
+        ..MlsConfig::quick(2, 2, 40)
+    });
     let result = mls.optimize(&problem, 1);
     assert_eq!(result.evaluations, 2 * 2 * 40);
     assert!(!result.front.is_empty());
     let bounds = AedbParams::bounds();
     for c in &result.front {
         assert!(c.is_feasible(), "archive holds infeasible {c:?}");
-        assert!(bounds.contains(&c.params), "out-of-bounds params {:?}", c.params);
+        assert!(
+            bounds.contains(&c.params),
+            "out-of-bounds params {:?}",
+            c.params
+        );
         assert_eq!(c.objectives.len(), 3);
         // coverage (negated) within physical limits
         let coverage = -c.objectives[1];
@@ -62,8 +69,11 @@ fn three_algorithms_produce_comparable_fronts() {
             combined.try_insert(c.clone());
         }
     }
-    let reference: Vec<Vec<f64>> =
-        combined.members().iter().map(|c| c.objectives.clone()).collect();
+    let reference: Vec<Vec<f64>> = combined
+        .members()
+        .iter()
+        .map(|c| c.objectives.clone())
+        .collect();
     let norm = Normalizer::from_points(&reference).expect("non-empty reference");
     let nref = norm.apply_front(&reference);
 
@@ -74,14 +84,21 @@ fn three_algorithms_produce_comparable_fronts() {
         let hv = hypervolume(&nf, &[1.1, 1.1, 1.1]);
         assert!(spread.is_finite(), "{}: spread", alg.name());
         assert!(igd.is_finite() && igd >= 0.0, "{}: igd", alg.name());
-        assert!((0.0..=1.1f64.powi(3)).contains(&hv), "{}: hv {hv}", alg.name());
+        assert!(
+            (0.0..=1.1f64.powi(3)).contains(&hv),
+            "{}: hv {hv}",
+            alg.name()
+        );
     }
 }
 
 #[test]
 fn merged_front_dominates_no_worse_than_parts() {
     let problem = quick_problem();
-    let mls = Mls::new(MlsConfig { criteria: CriteriaChoice::Aedb, ..MlsConfig::quick(1, 2, 40) });
+    let mls = Mls::new(MlsConfig {
+        criteria: CriteriaChoice::Aedb,
+        ..MlsConfig::quick(1, 2, 40)
+    });
     let r1 = mls.optimize(&problem, 10);
     let r2 = mls.optimize(&problem, 11);
 
@@ -104,7 +121,11 @@ fn merged_front_dominates_no_worse_than_parts() {
 fn evaluation_counting_through_pipeline() {
     use mopt::problem::CountingProblem;
     let problem = CountingProblem::new(quick_problem());
-    let nsga = Nsga2::new(Nsga2Config { population: 8, max_evaluations: 64, ..Default::default() });
+    let nsga = Nsga2::new(Nsga2Config {
+        population: 8,
+        max_evaluations: 64,
+        ..Default::default()
+    });
     let r = nsga.run(&problem, 5);
     assert_eq!(r.evaluations, 64);
     assert_eq!(problem.evaluations(), 64, "problem-side count must agree");

@@ -33,8 +33,14 @@ fn aedb_saves_energy_versus_flooding() {
     // Note: flooding is NOT a coverage upper bound here — its simultaneous
     // full-power forwardings collide (the broadcast storm of Ni et al.
     // 1999, the paper's motivation), so a tuned AEDB can even beat it.
-    assert!(aedb.forwardings < flood_cov.max(1.0), "AEDB must forward less than flooding covers");
-    assert!(flood_cov > 20.0, "flooding should reach most of the 50-node net: {flood_cov}");
+    assert!(
+        aedb.forwardings < flood_cov.max(1.0),
+        "AEDB must forward less than flooding covers"
+    );
+    assert!(
+        flood_cov > 20.0,
+        "flooding should reach most of the 50-node net: {flood_cov}"
+    );
 }
 
 #[test]
@@ -49,8 +55,14 @@ fn border_threshold_trades_coverage_for_resources() {
         neighbors_threshold: 50.0,
     };
     let restrictive = observe(Density::D200, base, 4);
-    let permissive =
-        observe(Density::D200, AedbParams { border_threshold: -72.0, ..base }, 4);
+    let permissive = observe(
+        Density::D200,
+        AedbParams {
+            border_threshold: -72.0,
+            ..base
+        },
+        4,
+    );
     assert!(
         permissive.coverage >= restrictive.coverage,
         "permissive {} vs restrictive {}",
@@ -72,8 +84,14 @@ fn neighbors_threshold_gates_power_reduction() {
         neighbors_threshold: 50.0, // sparse branch everywhere
     };
     let sparse_branch = observe(Density::D300, base, 4);
-    let dense_branch =
-        observe(Density::D300, AedbParams { neighbors_threshold: 1.0, ..base }, 4);
+    let dense_branch = observe(
+        Density::D300,
+        AedbParams {
+            neighbors_threshold: 1.0,
+            ..base
+        },
+        4,
+    );
     let per_fwd = |o: &AedbOutcome| {
         if o.forwardings > 0.0 {
             o.energy / o.forwardings
@@ -101,10 +119,19 @@ fn delay_drives_broadcast_time_not_much_else() {
     let fast = observe(Density::D200, base, 4);
     let slow = observe(
         Density::D200,
-        AedbParams { min_delay: 0.8, max_delay: 3.0, ..base },
+        AedbParams {
+            min_delay: 0.8,
+            max_delay: 3.0,
+            ..base
+        },
         4,
     );
-    assert!(slow.broadcast_time > fast.broadcast_time, "{} vs {}", slow.broadcast_time, fast.broadcast_time);
+    assert!(
+        slow.broadcast_time > fast.broadcast_time,
+        "{} vs {}",
+        slow.broadcast_time,
+        fast.broadcast_time
+    );
 }
 
 #[test]
@@ -138,7 +165,11 @@ fn broadcast_time_bounded_by_simulation_window() {
     };
     let o = observe(Density::D200, p, 3);
     // broadcast starts at 30 s, simulation ends at 40 s
-    assert!(o.broadcast_time <= 10.0, "bt {} exceeds the window", o.broadcast_time);
+    assert!(
+        o.broadcast_time <= 10.0,
+        "bt {} exceeds the window",
+        o.broadcast_time
+    );
 }
 
 #[test]
@@ -156,16 +187,24 @@ fn shadowing_perturbs_but_does_not_break_dissemination() {
     let shadowed = run(6.0);
     // deterministic per seed
     let shadowed2 = run(6.0);
-    assert_eq!(shadowed.broadcast.coverage(), shadowed2.broadcast.coverage());
+    assert_eq!(
+        shadowed.broadcast.coverage(),
+        shadowed2.broadcast.coverage()
+    );
     // shadowing changes the outcome…
     assert_ne!(
         (clean.broadcast.coverage(), clean.broadcast.forwardings),
-        (shadowed.broadcast.coverage(), shadowed.broadcast.forwardings),
+        (
+            shadowed.broadcast.coverage(),
+            shadowed.broadcast.forwardings
+        ),
         "6 dB shadowing should alter the dissemination"
     );
     // …but not the physics
     assert!(shadowed.broadcast.coverage() < 50);
-    assert!(shadowed.broadcast.energy_dbm_sum <= shadowed.broadcast.forwardings as f64 * 16.02 + 1e-9);
+    assert!(
+        shadowed.broadcast.energy_dbm_sum <= shadowed.broadcast.forwardings as f64 * 16.02 + 1e-9
+    );
 }
 
 #[test]
@@ -179,7 +218,14 @@ fn margin_threshold_is_nearly_inert() {
         neighbors_threshold: 50.0,
     };
     let lo = observe(Density::D200, base, 4);
-    let hi = observe(Density::D200, AedbParams { margin_threshold: 3.0, ..base }, 4);
+    let hi = observe(
+        Density::D200,
+        AedbParams {
+            margin_threshold: 3.0,
+            ..base
+        },
+        4,
+    );
     // coverage moves by at most a couple of nodes
     assert!(
         (lo.coverage - hi.coverage).abs() <= 6.0,

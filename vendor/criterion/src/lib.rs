@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`: the subset of the API the workspace's
+//! benches use (`criterion_group!`/`criterion_main!`, `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`).
+//!
+//! Measurement model: a ~50 ms warm-up estimates the per-iteration cost,
+//! then `sample_size` samples are timed (each sized to ≥ ~5 ms) and the
+//! median/min/max per-iteration times are reported. No plots, no state
+//! directory — just numbers on stdout, enough to compare two
+//! implementations in the same process run.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier (`group/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a bare parameter, as in criterion.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        Self { id: p.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Display, P: Display>(function: S, p: P) -> Self {
+        Self {
+            id: format!("{function}/{p}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Times closures handed to it by benchmark functions.
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measures `f` repeatedly and records per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: estimate cost, keep caches hot.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(50) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Size each sample to at least ~5 ms.
+        let iters_per_sample = ((5e-3 / per_iter.max(1e-9)).ceil() as u64).clamp(1, 10_000_000);
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.results.push(t0.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn report(name: &str, results: &mut [Duration]) {
+    if results.is_empty() {
+        return;
+    }
+    results.sort();
+    let median = results[results.len() / 2];
+    let min = results[0];
+    let max = results[results.len() - 1];
+    println!(
+        "bench: {name:<55} median {:>12.3?}  (min {:>12.3?}, max {:>12.3?}, {} samples)",
+        median,
+        min,
+        max,
+        results.len()
+    );
+}
+
+/// Entry point handed to benchmark functions.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn sample_count(&self, requested: usize) -> usize {
+        if self.test_mode {
+            1
+        } else {
+            requested
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            let mut results = Vec::new();
+            let samples = self.sample_count(30);
+            f(&mut Bencher {
+                samples,
+                results: &mut results,
+            });
+            report(name, &mut results);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: 30,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            let mut results = Vec::new();
+            let samples = self.parent.sample_count(self.sample_size);
+            f(&mut Bencher {
+                samples,
+                results: &mut results,
+            });
+            report(&full, &mut results);
+        }
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if self.parent.enabled(&full) {
+            let mut results = Vec::new();
+            let samples = self.parent.sample_count(self.sample_size);
+            f(
+                &mut Bencher {
+                    samples,
+                    results: &mut results,
+                },
+                input,
+            );
+            report(&full, &mut results);
+        }
+        self
+    }
+
+    /// Closes the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}

@@ -1,0 +1,103 @@
+//! Offline stand-in for `crossbeam`: only the `channel` module the
+//! workspace uses, implemented over `std::sync::mpsc`.
+//!
+//! Crossbeam exposes a single [`channel::Sender`] type for bounded and
+//! unbounded channels while std splits them (`Sender` vs `SyncSender`);
+//! the wrapper unifies them behind one enum so call sites match the real
+//! crate.
+
+/// Multi-producer single-consumer channels (crossbeam-channel subset).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half of a channel (bounded or unbounded).
+    #[derive(Debug)]
+    pub enum Sender<T> {
+        /// Unbounded (asynchronous) sender.
+        Unbounded(mpsc::Sender<T>),
+        /// Bounded (rendezvous/buffered) sender.
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Sender::Unbounded(s) => Sender::Unbounded(s.clone()),
+                Sender::Bounded(s) => Sender::Bounded(s.clone()),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking on a full bounded channel. Errors only
+        /// when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self {
+                Sender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Sender::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender::Unbounded(tx), Receiver(rx))
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender::Bounded(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded};
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop((tx, tx2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_reply_channel() {
+        let (tx, rx) = bounded(1);
+        tx.send("reply").unwrap();
+        assert_eq!(rx.recv(), Ok("reply"));
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert!(tx.send(5).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for `proptest`: the macro surface and strategy
+//! combinators this workspace's property tests use, executed as seeded
+//! random sampling (no shrinking — a failing case prints its inputs via
+//! the assertion message instead).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+int_strategy!(usize, u64, u32, i32, i64);
+
+/// Sizes accepted by [`prop::collection::vec`]: a fixed length or a range.
+pub trait IntoSize {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut SmallRng) -> usize;
+}
+
+impl IntoSize for usize {
+    fn sample_len(&self, _rng: &mut SmallRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSize for std::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy namespace (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{IntoSize, Strategy};
+        use rand::rngs::SmallRng;
+
+        /// Strategy for vectors of `elem`-generated values.
+        pub struct VecStrategy<S, L> {
+            elem: S,
+            len: L,
+        }
+
+        /// Generates `Vec`s whose length is drawn from `len`.
+        pub fn vec<S: Strategy, L: IntoSize>(elem: S, len: L) -> VecStrategy<S, L> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy, L: IntoSize> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let n = self.len.sample_len(rng);
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub const __BASE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// Declares a block of property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` expands to a `#[test]`
+/// running `cases` seeded random samples; `prop_assert*` failures report
+/// the case number and message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::__seeded(stringify!($name));
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng); )*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("proptest case {case} of {}: {msg}", config.cases);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: a deterministic RNG salted by the test name.
+#[doc(hidden)]
+pub fn __seeded(name: &str) -> SmallRng {
+    let mut h = __BASE_SEED;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Asserts a condition inside a property test (fails the current case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if va != vb {
+            return ::std::result::Result::Err(format!("assertion failed: {:?} != {:?}", va, vb));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return ::std::result::Result::Err(format!("assertion failed: {:?} == {:?}", va, vb));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for `rayon`: the parallel-iterator subset this
+//! workspace uses (`(0..n).into_par_iter().map(f).collect()`), executed by
+//! real OS threads over `std::thread::scope` with an atomic work counter —
+//! dynamic load balancing, like rayon, so uneven simulation costs don't
+//! serialise on the slowest chunk.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Commonly used traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for parallel execution.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// Dynamic-scheduled parallel map over `0..n`: workers pull indices from a
+/// shared atomic counter and stream `(index, result)` pairs back.
+fn par_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let f = &f;
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, v) in rx {
+            out[i] = Some(v);
+        }
+        out.into_iter()
+            .map(|o| o.expect("worker skipped an index"))
+            .collect()
+    })
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// A parallel iterator: the subset of rayon's trait the workspace needs.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Executes the pipeline, producing elements in index order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` (executed in parallel at `collect`).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes in parallel and collects into `C` in index order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangePar {
+    range: std::ops::Range<usize>,
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangePar;
+    fn into_par_iter(self) -> RangePar {
+        RangePar { range: self }
+    }
+}
+
+impl ParallelIterator for RangePar {
+    type Item = usize;
+    fn run(self) -> Vec<usize> {
+        self.range.collect()
+    }
+}
+
+/// Parallel iterator over an owned vector.
+pub struct VecPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecPar<T>;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazy `map` adaptor; the closure runs in parallel when the pipeline is
+/// driven by [`ParallelIterator::collect`].
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<R, F> ParallelIterator for Map<RangePar, F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        let start = self.base.range.start;
+        let n = self.base.range.len();
+        let f = self.f;
+        par_map_indexed(n, |i| f(start + i))
+    }
+}
+
+impl<T, R, F> ParallelIterator for Map<VecPar<T>, F>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        let items: Vec<Option<T>> = self.base.items.into_iter().map(Some).collect();
+        let slots: Vec<std::sync::Mutex<Option<T>>> =
+            items.into_iter().map(std::sync::Mutex::new).collect();
+        let f = &self.f;
+        par_map_indexed(slots.len(), |i| {
+            let item = slots[i]
+                .lock()
+                .expect("slot lock")
+                .take()
+                .expect("item taken twice");
+            f(item)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    fn vec_map_collect() {
+        let v: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|i: i32| format!("{i}"))
+            .collect();
+        assert_eq!(v, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn empty_range() {
+        let v: Vec<usize> = (0..0).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn heavy_uneven_work_balances() {
+        let v: Vec<u64> = (0..64)
+            .into_par_iter()
+            .map(|i| (0..(i as u64 % 7) * 10_000).fold(0u64, |a, x| a.wrapping_add(x)))
+            .collect();
+        assert_eq!(v.len(), 64);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`: marker traits plus no-op derive macros.
+//!
+//! The workspace annotates config/scenario types with
+//! `#[derive(Serialize, Deserialize)]` for future persistence, but nothing
+//! serialises data yet. With no crates.io access, this façade keeps those
+//! annotations compiling: the derives (from the vendored `serde_derive`)
+//! expand to nothing, and the traits below exist purely so
+//! `use serde::{Deserialize, Serialize}` resolves in both the type and
+//! macro namespaces, exactly as with real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}

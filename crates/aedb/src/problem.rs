@@ -19,6 +19,8 @@ use mopt::solution::Bounds;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Broadcast-time constraint limit (s): "any solution that takes longer
@@ -69,11 +71,19 @@ pub struct AedbProblem {
     scenario: Scenario,
     bounds: Bounds,
     parallel: bool,
+    /// Whether [`Problem::evaluate_batch`] fans its jobs over the thread
+    /// pool (`true` by default). Turned off when a caller shards *whole
+    /// repetitions* across the pool instead (`bench::runner`), so the two
+    /// levels of parallelism do not multiply.
+    parallel_batches: bool,
     /// Evaluation memo keyed by quantized decision vectors; `None`
     /// disables caching (perf baselines).
     cache: Option<Mutex<HashMap<CacheKey, Evaluation>>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// When set, the cache is loaded from this file on construction and
+    /// flushed back on drop — repeated experiments start warm.
+    cache_path: Option<PathBuf>,
 }
 
 impl AedbProblem {
@@ -94,9 +104,11 @@ impl AedbProblem {
             scenario,
             bounds: AedbParams::bounds(),
             parallel: false,
+            parallel_batches: true,
             cache: Some(Mutex::new(HashMap::new())),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            cache_path: None,
         }
     }
 
@@ -118,11 +130,173 @@ impl AedbProblem {
         self
     }
 
+    /// Enables/disables the thread-pool fan-out inside
+    /// [`Problem::evaluate_batch`] (on by default). `bench::runner` turns
+    /// it off when it shards whole repetitions across the pool, so the
+    /// outer and inner parallelism do not multiply into oversubscription.
+    /// Results are bit-identical either way.
+    pub fn with_parallel_batches(mut self, on: bool) -> Self {
+        self.parallel_batches = on;
+        self
+    }
+
+    /// Backs the quantized evaluation cache with a file: entries found at
+    /// `path` (and matching this problem's [fingerprint](Self::cache_fingerprint))
+    /// are loaded now, and the full cache is flushed back on drop — so
+    /// repeated experiments over the same scenario start warm. Enables the
+    /// cache if it was disabled. Load/flush failures are silent (a cold
+    /// cache is always correct); call
+    /// [`flush_eval_cache`](Self::flush_eval_cache) for an explicit,
+    /// error-reporting flush.
+    pub fn with_eval_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        if self.cache.is_none() {
+            self.cache = Some(Mutex::new(HashMap::new()));
+        }
+        if let Ok(loaded) = Self::load_cache_file(&path, self.cache_fingerprint()) {
+            let cache = self.cache.as_ref().expect("cache enabled above");
+            cache.lock().extend(loaded);
+        }
+        self.cache_path = Some(path);
+        self
+    }
+
+    /// Identity of the cached mapping: any change to the scenario (its
+    /// networks, density, dense override), the bounds the quantization
+    /// lattice is anchored to, or the lattice itself must invalidate a
+    /// persisted cache file.
+    pub fn cache_fingerprint(&self) -> u64 {
+        let mut text = format!(
+            "{:?}|nets={}|steps={}",
+            self.scenario, self.scenario.n_networks, CACHE_STEPS
+        );
+        for i in 0..self.bounds.len() {
+            let (lo, hi) = self.bounds.get(i);
+            text.push_str(&format!("|{lo:e}..{hi:e}"));
+        }
+        // FNV-1a, stable across runs and platforms
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// Writes the current cache contents to the configured path (no-op
+    /// without [`with_eval_cache_path`](Self::with_eval_cache_path)).
+    /// Format: a header line `aedb-eval-cache v1 <fingerprint>` followed
+    /// by one entry per line — the quantized key and the f64 bit patterns
+    /// of the objectives and violation in hex, so persisted evaluations
+    /// round-trip bit-exactly.
+    pub fn flush_eval_cache(&self) -> std::io::Result<()> {
+        let (Some(path), Some(cache)) = (&self.cache_path, &self.cache) else {
+            return Ok(());
+        };
+        let mut out = String::new();
+        out.push_str(&format!(
+            "aedb-eval-cache v1 {:016x}\n",
+            self.cache_fingerprint()
+        ));
+        for (key, ev) in cache.lock().iter() {
+            for k in key {
+                out.push_str(&format!("{k:x} "));
+            }
+            out.push_str(&format!("{}", ev.objectives.len()));
+            for o in &ev.objectives {
+                out.push_str(&format!(" {:016x}", o.to_bits()));
+            }
+            out.push_str(&format!(" {:016x}\n", ev.violation.to_bits()));
+        }
+        // Atomic replace: a crash mid-write must never leave a truncated
+        // file behind for the next run to load.
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Parses one whitespace token as the hex bit pattern of an `f64`,
+    /// rejecting anything but exactly 16 hex digits (defence in depth
+    /// against truncated files: a cut-off token must not reinterpret as a
+    /// tiny denormal).
+    fn parse_f64_bits(tok: Option<&str>) -> Option<f64> {
+        let t = tok?;
+        if t.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(t, 16).ok().map(f64::from_bits)
+    }
+
+    fn load_cache_file(
+        path: &PathBuf,
+        fingerprint: u64,
+    ) -> std::io::Result<Vec<(CacheKey, Evaluation)>> {
+        let f = std::fs::File::open(path)?;
+        let mut lines = std::io::BufReader::new(f).lines();
+        let header = lines.next().transpose()?.unwrap_or_default();
+        let mut parts = header.split_whitespace();
+        if parts.next() != Some("aedb-eval-cache")
+            || parts.next() != Some("v1")
+            || parts.next().and_then(|h| u64::from_str_radix(h, 16).ok()) != Some(fingerprint)
+        {
+            // Different problem (or a stale/foreign file): a cold start is
+            // the correct behaviour, and the flush on drop will replace it.
+            return Ok(Vec::new());
+        }
+        let mut entries = Vec::new();
+        for line in lines {
+            let line = line?;
+            let mut tok = line.split_whitespace();
+            let mut key = [0u64; N_PARAMS];
+            let mut ok = true;
+            for k in key.iter_mut() {
+                match tok.next().and_then(|t| u64::from_str_radix(t, 16).ok()) {
+                    Some(v) => *k = v,
+                    None => ok = false,
+                }
+            }
+            let n_obj = tok.next().and_then(|t| t.parse::<usize>().ok());
+            let Some(n_obj) = n_obj else { continue };
+            let mut objectives = Vec::with_capacity(n_obj);
+            for _ in 0..n_obj {
+                match Self::parse_f64_bits(tok.next()) {
+                    Some(v) => objectives.push(v),
+                    None => ok = false,
+                }
+            }
+            let violation = Self::parse_f64_bits(tok.next());
+            let (true, Some(violation), None) = (ok, violation, tok.next()) else {
+                continue; // malformed line: skip, never fail the run
+            };
+            entries.push((
+                key,
+                Evaluation {
+                    objectives,
+                    violation,
+                },
+            ));
+        }
+        Ok(entries)
+    }
+
     /// Replaces the search-space bounds (the sensitivity analysis uses the
-    /// wider §III-B domains).
+    /// wider §III-B domains). The quantization lattice is anchored to the
+    /// bounds, so any cached evaluations keyed on the old lattice —
+    /// including entries loaded from a
+    /// [`with_eval_cache_path`](Self::with_eval_cache_path) file before
+    /// this call — are dropped and the file (whose fingerprint covers the
+    /// bounds) is re-read under the new fingerprint.
     pub fn with_bounds(mut self, bounds: Bounds) -> Self {
         assert_eq!(bounds.len(), N_PARAMS);
         self.bounds = bounds;
+        if let Some(cache) = &self.cache {
+            cache.lock().clear();
+        }
+        if let Some(path) = self.cache_path.take() {
+            self = self.with_eval_cache_path(path);
+        }
         self
     }
 
@@ -250,6 +424,16 @@ impl AedbProblem {
     }
 }
 
+impl Drop for AedbProblem {
+    /// Flushes the disk-backed evaluation cache, if one was configured —
+    /// best-effort: persistence is an optimisation, never a correctness
+    /// requirement, so failures are swallowed here (use
+    /// [`flush_eval_cache`](Self::flush_eval_cache) to observe them).
+    fn drop(&mut self) {
+        let _ = self.flush_eval_cache();
+    }
+}
+
 impl Problem for AedbProblem {
     fn bounds(&self) -> &Bounds {
         &self.bounds
@@ -305,12 +489,19 @@ impl Problem for AedbProblem {
                 result_source.push(idx);
             }
         }
-        // One parallel scope over the whole (candidate × network) product.
+        // One parallel scope over the whole (candidate × network) product
+        // (sequential when an outer layer already owns the thread pool).
         let jobs = fresh.len() * n_nets;
-        let outcomes: Vec<AedbOutcome> = (0..jobs)
-            .into_par_iter()
-            .map(|j| self.simulate_one(fresh[j / n_nets].1, j % n_nets))
-            .collect();
+        let outcomes: Vec<AedbOutcome> = if self.parallel_batches {
+            (0..jobs)
+                .into_par_iter()
+                .map(|j| self.simulate_one(fresh[j / n_nets].1, j % n_nets))
+                .collect()
+        } else {
+            (0..jobs)
+                .map(|j| self.simulate_one(fresh[j / n_nets].1, j % n_nets))
+                .collect()
+        };
         let fresh_evals: Vec<Evaluation> = fresh
             .iter()
             .enumerate()
@@ -503,6 +694,121 @@ mod tests {
         let mut moved = x.clone();
         moved[0] += 1e-2; // thousands of steps away
         assert_ne!(p.quantize(&x), p.quantize(&moved));
+    }
+
+    fn temp_cache_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "aedb-eval-cache-test-{tag}-{}.txt",
+            std::process::id()
+        ))
+    }
+
+    #[test]
+    fn disk_cache_round_trips_bit_exactly() {
+        let path = temp_cache_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let x = AedbParams::default_config().to_vec();
+        let y = vec![0.0, 0.2, -70.0, 1.0, 50.0];
+        let first = {
+            let p =
+                AedbProblem::paper(Scenario::quick(Density::D100, 2)).with_eval_cache_path(&path);
+            let evs = p.evaluate_batch(&[x.clone(), y.clone()]);
+            assert_eq!(p.cache_stats(), (0, 2), "cold cache cannot hit");
+            evs
+            // drop flushes
+        };
+        assert!(path.exists(), "drop must flush the cache file");
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 2)).with_eval_cache_path(&path);
+        assert_eq!(
+            p.evaluate(&x),
+            first[0],
+            "warm-started eval must be bit-exact"
+        );
+        assert_eq!(p.evaluate(&y), first[1]);
+        assert_eq!(
+            p.cache_stats(),
+            (2, 0),
+            "warm cache serves without simulating"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disk_cache_ignores_foreign_fingerprints() {
+        let path = temp_cache_path("fingerprint");
+        let _ = std::fs::remove_file(&path);
+        let x = AedbParams::default_config().to_vec();
+        {
+            let p =
+                AedbProblem::paper(Scenario::quick(Density::D100, 2)).with_eval_cache_path(&path);
+            let _ = p.evaluate(&x);
+        }
+        // Different scenario (more networks) => different mapping: the
+        // persisted entries must not leak in.
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 3)).with_eval_cache_path(&path);
+        let _ = p.evaluate(&x);
+        assert_eq!(p.cache_stats().0, 0, "foreign cache file must be ignored");
+        // ... and garbage files must not break construction.
+        std::fs::write(&path, "not a cache file\n1 2 3\n").unwrap();
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 2)).with_eval_cache_path(&path);
+        let _ = p.evaluate(&x);
+        assert_eq!(p.cache_stats().0, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn disk_cache_invalidated_when_bounds_change_the_lattice() {
+        // with_bounds after with_eval_cache_path re-anchors the
+        // quantization lattice: entries persisted (and already loaded)
+        // under the old bounds must not be reinterpreted on the new one.
+        let path = temp_cache_path("bounds");
+        let _ = std::fs::remove_file(&path);
+        let x = AedbParams::default_config().to_vec();
+        {
+            let p =
+                AedbProblem::paper(Scenario::quick(Density::D100, 2)).with_eval_cache_path(&path);
+            let _ = p.evaluate(&x);
+        }
+        let mut pairs = AedbParams::bounds().as_slice().to_vec();
+        pairs[0] = (0.0, 10.0);
+        let wider = mopt::solution::Bounds::new(pairs);
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 2))
+            .with_eval_cache_path(&path)
+            .with_bounds(wider);
+        let _ = p.evaluate(&x);
+        assert_eq!(
+            p.cache_stats().0,
+            0,
+            "entries keyed on the old lattice must not survive with_bounds"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sequential_batches_match_parallel_batches() {
+        let xs: Vec<Vec<f64>> = vec![
+            AedbParams::default_config().to_vec(),
+            vec![0.0, 0.2, -70.0, 1.0, 50.0],
+            vec![0.5, 2.5, -82.0, 2.0, 25.0],
+        ];
+        let par = AedbProblem::paper(Scenario::quick(Density::D100, 3)).evaluate_batch(&xs);
+        let seq = AedbProblem::paper(Scenario::quick(Density::D100, 3))
+            .with_parallel_batches(false)
+            .evaluate_batch(&xs);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn dense_scenario_problem_evaluates() {
+        // The tuning problem posed at beyond-paper scale: a 500-node dense
+        // network (shadowed) evaluated through the same pipeline.
+        use crate::scenario::DenseScenario;
+        let scenario = Scenario::dense(DenseScenario::new(200, 500).with_shadowing(4.0), 1);
+        let p = AedbProblem::paper(scenario);
+        let ev = p.evaluate(&AedbParams::default_config().to_vec());
+        assert_eq!(ev.objectives.len(), 3);
+        assert!(ev.objectives.iter().all(|v| v.is_finite()));
+        assert!(-ev.objectives[1] >= 0.0, "coverage is a count");
     }
 
     #[test]

@@ -50,6 +50,15 @@ impl Density {
             _ => None,
         }
     }
+
+    /// The paper density closest to an arbitrary `per_km2` (used to label
+    /// beyond-paper dense scenarios in the experiment tables).
+    pub fn nearest(per_km2: u32) -> Self {
+        *Density::ALL
+            .iter()
+            .min_by_key(|d| d.per_km2().abs_diff(per_km2))
+            .expect("ALL is non-empty")
+    }
 }
 
 impl std::fmt::Display for Density {
@@ -58,15 +67,145 @@ impl std::fmt::Display for Density {
     }
 }
 
-/// A full evaluation scenario: density plus the fixed network seeds.
+/// A beyond-paper dense evaluation scenario: an areal density plus an
+/// explicit node count. The field grows so that `area = n_nodes / per_km2`,
+/// holding the density (and therefore the local connectivity structure)
+/// fixed while the network scales — the regime where the simulator's
+/// incremental spatial grid turns an O(n²) beacon interval into a
+/// near-O(n) one. Optional log-normal shadowing exercises the bounded-tail
+/// grid query (`manet::radio::SHADOW_TAIL_SIGMAS`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DenseScenario {
+    /// Devices per square kilometre.
+    pub per_km2: u32,
+    /// Total devices.
+    pub n_nodes: usize,
+    /// Base seed; network `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Log-normal shadowing σ (dB); `0` disables it.
+    pub shadowing_sigma_db: f64,
+}
+
+impl DenseScenario {
+    /// Scale-up presets: paper densities, 10–20× the paper's node counts.
+    pub const PRESETS: [DenseScenario; 3] = [
+        DenseScenario {
+            per_km2: 200,
+            n_nodes: 500,
+            base_seed: 7_200_500,
+            shadowing_sigma_db: 0.0,
+        },
+        DenseScenario {
+            per_km2: 300,
+            n_nodes: 750,
+            base_seed: 7_300_750,
+            shadowing_sigma_db: 0.0,
+        },
+        DenseScenario {
+            per_km2: 400,
+            n_nodes: 1000,
+            base_seed: 7_401_000,
+            shadowing_sigma_db: 0.0,
+        },
+    ];
+
+    /// Extreme-scale presets (10⁴ nodes): the incremental-grid regime.
+    pub const XL_PRESETS: [DenseScenario; 2] = [
+        DenseScenario {
+            per_km2: 300,
+            n_nodes: 5_000,
+            base_seed: 7_305_000,
+            shadowing_sigma_db: 0.0,
+        },
+        DenseScenario {
+            per_km2: 400,
+            n_nodes: 10_000,
+            base_seed: 7_410_000,
+            shadowing_sigma_db: 0.0,
+        },
+    ];
+
+    /// Shadowed-dense presets: urban-like 4 dB log-normal shadowing at the
+    /// paper's middle density — the workload the bounded-tail grid query
+    /// exists for (it used to force the naive O(n²) scan).
+    pub const SHADOWED_PRESETS: [DenseScenario; 2] = [
+        DenseScenario {
+            per_km2: 200,
+            n_nodes: 1_000,
+            base_seed: 7_201_000,
+            shadowing_sigma_db: 4.0,
+        },
+        DenseScenario {
+            per_km2: 200,
+            n_nodes: 2_000,
+            base_seed: 7_202_000,
+            shadowing_sigma_db: 4.0,
+        },
+    ];
+
+    /// A scenario with the given density and node count (no shadowing).
+    pub fn new(per_km2: u32, n_nodes: usize) -> Self {
+        assert!(per_km2 > 0 && n_nodes > 0);
+        Self {
+            per_km2,
+            n_nodes,
+            base_seed: 7_000_000 + per_km2 as u64 * 10_000 + n_nodes as u64,
+            shadowing_sigma_db: 0.0,
+        }
+    }
+
+    /// The same scenario with log-normal shadowing of `sigma_db` enabled.
+    pub fn with_shadowing(mut self, sigma_db: f64) -> Self {
+        assert!(sigma_db >= 0.0 && sigma_db.is_finite());
+        self.shadowing_sigma_db = sigma_db;
+        self
+    }
+
+    /// The square field holding `n_nodes` at `per_km2` devices/km².
+    pub fn field(&self) -> Field {
+        let area_km2 = self.n_nodes as f64 / self.per_km2 as f64;
+        let side_m = (area_km2 * 1e6).sqrt();
+        Field::new(side_m, side_m)
+    }
+
+    /// Simulator configuration of network `k`: Table II's physical setup
+    /// (radio, mobility, timing — inherited from `SimConfig::paper` so the
+    /// scale experiments can never drift from the paper protocol) on the
+    /// scaled field, with the scenario's shadowing applied.
+    pub fn sim_config(&self, k: usize) -> SimConfig {
+        let mut c = SimConfig::paper(self.n_nodes, self.base_seed + k as u64);
+        c.field = self.field();
+        c.radio.shadowing_sigma_db = self.shadowing_sigma_db;
+        c
+    }
+}
+
+impl std::fmt::Display for DenseScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} nodes @ {} dev/km²", self.n_nodes, self.per_km2)?;
+        if self.shadowing_sigma_db > 0.0 {
+            write!(f, " (σ={} dB)", self.shadowing_sigma_db)?;
+        }
+        Ok(())
+    }
+}
+
+/// A full evaluation scenario: density plus the fixed network seeds, with
+/// an optional beyond-paper [`DenseScenario`] override so the tuning
+/// problem itself can be posed at 10⁴-node scale.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scenario {
-    /// Network density.
+    /// Network density (for dense scenarios: the nearest paper density,
+    /// used for table labels).
     pub density: Density,
     /// Number of fixed networks the fitness is averaged over (paper: 10).
     pub n_networks: usize,
     /// Base seed; network `k` uses seed `base_seed + k`.
     pub base_seed: u64,
+    /// When set, networks are generated from this dense scenario (scaled
+    /// field, explicit node count, optional shadowing) instead of the
+    /// paper's 500 m field.
+    pub dense: Option<DenseScenario>,
 }
 
 impl Scenario {
@@ -76,6 +215,7 @@ impl Scenario {
             density,
             n_networks: 10,
             base_seed: 1000 * density.per_km2() as u64,
+            dense: None,
         }
     }
 
@@ -85,6 +225,26 @@ impl Scenario {
             density,
             n_networks,
             base_seed: 1000 * density.per_km2() as u64,
+            dense: None,
+        }
+    }
+
+    /// A beyond-paper scenario: the tuning problem posed over `n_networks`
+    /// fixed networks of a [`DenseScenario`] (hundreds to 10⁴ nodes).
+    pub fn dense(dense: DenseScenario, n_networks: usize) -> Self {
+        Self {
+            density: Density::nearest(dense.per_km2),
+            n_networks,
+            base_seed: dense.base_seed,
+            dense: Some(dense),
+        }
+    }
+
+    /// Human-readable label (density, or the dense spec when present).
+    pub fn label(&self) -> String {
+        match &self.dense {
+            Some(d) => d.to_string(),
+            None => self.density.to_string(),
         }
     }
 
@@ -95,9 +255,15 @@ impl Scenario {
     }
 
     /// The simulator configuration of evaluation network `k` — Table II
-    /// verbatim: 500 m field, random walk at [0,2] m/s with 20 s direction
-    /// changes, 16.02 dBm default power, broadcast at 30 s, end at 40 s.
+    /// verbatim (500 m field, random walk at [0,2] m/s with 20 s direction
+    /// changes, 16.02 dBm default power, broadcast at 30 s, end at 40 s),
+    /// or the dense override's scaled field when one is set.
     pub fn sim_config(&self, k: usize) -> SimConfig {
+        if let Some(d) = &self.dense {
+            let mut c = d.sim_config(0);
+            c.seed = self.network_seed(k);
+            return c;
+        }
         SimConfig {
             field: Field::paper(),
             n_nodes: self.density.n_nodes(),
@@ -169,5 +335,51 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Density::D100.to_string(), "100 dev/km²");
+        assert_eq!(
+            DenseScenario::new(200, 500).to_string(),
+            "500 nodes @ 200 dev/km²"
+        );
+        assert_eq!(
+            DenseScenario::new(200, 1000)
+                .with_shadowing(4.0)
+                .to_string(),
+            "1000 nodes @ 200 dev/km² (σ=4 dB)"
+        );
+    }
+
+    #[test]
+    fn nearest_density_labels_dense_scenarios() {
+        assert_eq!(Density::nearest(150), Density::D100);
+        assert_eq!(Density::nearest(250), Density::D200);
+        assert_eq!(Density::nearest(400), Density::D300);
+    }
+
+    #[test]
+    fn dense_scenario_posed_as_tuning_problem() {
+        let d = DenseScenario::new(200, 500).with_shadowing(4.0);
+        let s = Scenario::dense(d, 4);
+        assert_eq!(s.n_networks, 4);
+        assert_eq!(s.label(), d.to_string());
+        let c = s.sim_config(2);
+        assert_eq!(c.n_nodes, 500);
+        assert_eq!(c.seed, d.base_seed + 2);
+        assert_eq!(c.radio.shadowing_sigma_db, 4.0);
+        // scaled field holds the density, physical setup stays Table II
+        assert!((c.field.area() - 2.5e6).abs() < 1.0);
+        assert_eq!(c.radio.default_tx_dbm, 16.02);
+        assert_eq!(c.broadcast_time, 30.0);
+        // distinct fixed networks
+        assert_ne!(s.sim_config(0).seed, s.sim_config(1).seed);
+    }
+
+    #[test]
+    fn xl_presets_reach_ten_thousand_nodes() {
+        assert!(DenseScenario::XL_PRESETS
+            .iter()
+            .any(|d| d.n_nodes >= 10_000));
+        for d in DenseScenario::SHADOWED_PRESETS {
+            assert!(d.shadowing_sigma_db > 0.0);
+            assert_eq!(d.per_km2, 200, "shadowed presets pin the 200/km² claim");
+        }
     }
 }

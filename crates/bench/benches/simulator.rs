@@ -94,11 +94,60 @@ fn bench_deliveries_grid_vs_naive(c: &mut Criterion) {
     g.finish();
 }
 
+/// The incremental-core comparison: one full dense simulation per
+/// delivery mode (incremental event-driven grid vs horizon rebuild vs
+/// naive scan), plus a shadowed pair exercising the bounded-tail query —
+/// the workload that used to force the naive path. The `grid_modes/`
+/// prefix is the CI smoke filter for the incremental path.
+fn bench_grid_modes(c: &mut Criterion) {
+    use manet::protocol::Flooding;
+    use manet::sim::DeliveryMode;
+    let mut g = c.benchmark_group("grid_modes");
+    g.sample_size(10);
+    let scenario = DenseScenario::new(200, 500);
+    for (name, mode) in [
+        ("incremental", DeliveryMode::Incremental),
+        ("rebuild", DeliveryMode::HorizonRebuild),
+        ("naive", DeliveryMode::Naive),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 500), &mode, |b, &mode| {
+            let cfg = scenario.sim_config(0);
+            let n = cfg.n_nodes;
+            let mut sim = Simulator::new(cfg.clone(), Flooding::new(n, (0.0, 0.1)));
+            sim.set_delivery_mode(mode);
+            b.iter(|| {
+                sim.reset_with(cfg.clone(), |p| *p = Flooding::new(n, (0.0, 0.1)));
+                sim.run_to_end().broadcast.coverage()
+            });
+        });
+    }
+    // Shadowed: the bounded-tail grid against the naive scan at the
+    // 200 dev/km² acceptance density.
+    let shadowed = DenseScenario::new(200, 500).with_shadowing(4.0);
+    for (name, mode) in [
+        ("shadowed_incremental", DeliveryMode::Incremental),
+        ("shadowed_naive", DeliveryMode::Naive),
+    ] {
+        g.bench_with_input(BenchmarkId::new(name, 500), &mode, |b, &mode| {
+            let cfg = shadowed.sim_config(0);
+            let n = cfg.n_nodes;
+            let mut sim = Simulator::new(cfg.clone(), Flooding::new(n, (0.0, 0.1)));
+            sim.set_delivery_mode(mode);
+            b.iter(|| {
+                sim.reset_with(cfg.clone(), |p| *p = Flooding::new(n, (0.0, 0.1)));
+                sim.run_to_end().broadcast.coverage()
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_simulation,
     bench_full_evaluation,
     bench_flooding_baseline,
-    bench_deliveries_grid_vs_naive
+    bench_deliveries_grid_vs_naive,
+    bench_grid_modes
 );
 criterion_main!(benches);

@@ -1,60 +1,134 @@
 //! Beyond-paper scale experiment: simulation throughput on the dense
-//! scenarios (hundreds of nodes) with the spatial grid versus the naive
-//! O(n²) scan, plus a batched AEDB evaluation at scale.
+//! scenarios (hundreds to 10⁴ nodes, optionally shadowed) across the three
+//! delivery paths — incremental grid (default), horizon-rebuild grid
+//! (the historical baseline) and the naive O(n²) scan — plus a batched
+//! AEDB evaluation posed directly on a dense scenario.
 //!
-//! Flags: `--dense 500@200,750@300` selects scenarios, `--paper` runs all
-//! presets.
+//! Emits **`BENCH_scale.json`** (schema `bench-scale-v1`) so the perf
+//! trajectory stays machine-readable across PRs.
+//!
+//! Flags: `--dense 500@200,2000@200@4,10000@400` selects scenarios
+//! (`nodes@density[@shadowing_db]`), `--paper` runs all presets including
+//! the 10⁴-node and shadowed ones.
 use aedb::params::AedbParams;
+use aedb::scenario::DenseScenario;
 use bench_harness::scale::ExperimentScale;
 use bench_harness::tables::{f, Table};
 use manet::protocol::Flooding;
-use manet::sim::Simulator;
+use manet::sim::{DeliveryMode, Simulator};
 use std::time::Instant;
 
+/// Above this node count the naive O(n²) baseline is skipped — it would
+/// dominate the whole run without telling us anything new.
+const NAIVE_CAP: usize = 2_500;
+
+struct ModeRun {
+    seconds: f64,
+    coverage: usize,
+    beacons_per_sec: f64,
+    bucket_ops: u64,
+}
+
+fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
+    let cfg = d.sim_config(0);
+    let n = cfg.n_nodes;
+    let duration = cfg.end_time;
+    let mut sim = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1)));
+    sim.set_delivery_mode(mode);
+    let t0 = Instant::now();
+    let report = sim.run_to_end();
+    let seconds = t0.elapsed().as_secs_f64();
+    ModeRun {
+        seconds,
+        coverage: report.broadcast.coverage(),
+        beacons_per_sec: report.counters.beacons_sent as f64 / duration,
+        bucket_ops: sim.grid_stats().bucket_ops,
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
 fn main() {
-    let scale = ExperimentScale::from_args();
-    println!("== dense-scenario simulation throughput: spatial grid vs naive scan ==");
+    let mut scale = ExperimentScale::from_args();
+    if scale.paper {
+        let mut dense = DenseScenario::PRESETS.to_vec();
+        dense.extend(DenseScenario::SHADOWED_PRESETS);
+        dense.extend(DenseScenario::XL_PRESETS);
+        scale.dense = dense;
+    }
+    println!("== dense-scenario simulation throughput: delivery modes compared ==");
     let mut t = Table::new(vec![
         "scenario",
         "field (m)",
-        "grid (s/sim)",
-        "naive (s/sim)",
-        "speedup",
+        "incremental (s)",
+        "rebuild (s)",
+        "naive (s)",
+        "inc/reb ops",
         "coverage",
     ]);
+    let mut json_scenarios: Vec<String> = Vec::new();
     for d in &scale.dense {
-        let run = |naive: bool| {
-            let cfg = d.sim_config(0);
-            let n = cfg.n_nodes;
-            let mut sim = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1)));
-            sim.set_naive_deliveries(naive);
-            let t0 = Instant::now();
-            let report = sim.run_to_end();
-            (t0.elapsed().as_secs_f64(), report.broadcast.coverage())
-        };
-        let (grid_s, cov) = run(false);
-        let (naive_s, cov_naive) = run(true);
-        assert_eq!(cov, cov_naive, "grid and naive scan must agree");
+        let inc = run_mode(d, DeliveryMode::Incremental);
+        let reb = run_mode(d, DeliveryMode::HorizonRebuild);
+        assert_eq!(inc.coverage, reb.coverage, "delivery modes must agree");
+        let naive = (d.n_nodes <= NAIVE_CAP).then(|| {
+            let r = run_mode(d, DeliveryMode::Naive);
+            assert_eq!(inc.coverage, r.coverage, "delivery modes must agree");
+            r
+        });
         t.row(vec![
             d.to_string(),
             f(d.field().width, 0),
-            f(grid_s, 3),
-            f(naive_s, 3),
-            f(naive_s / grid_s, 2),
-            cov.to_string(),
+            f(inc.seconds, 3),
+            f(reb.seconds, 3),
+            naive.as_ref().map_or("-".into(), |n| f(n.seconds, 3)),
+            format!("{}/{}", inc.bucket_ops, reb.bucket_ops),
+            inc.coverage.to_string(),
         ]);
+        json_scenarios.push(format!(
+            concat!(
+                "    {{\"nodes\": {}, \"per_km2\": {}, \"shadowing_sigma_db\": {}, ",
+                "\"beacons_per_sec\": {}, \"coverage\": {},\n",
+                "     \"incremental_s\": {}, \"rebuild_s\": {}, \"naive_s\": {},\n",
+                "     \"incremental_bucket_ops\": {}, \"rebuild_bucket_ops\": {},\n",
+                "     \"speedup_rebuild_over_incremental\": {}, ",
+                "\"speedup_naive_over_incremental\": {}}}"
+            ),
+            d.n_nodes,
+            d.per_km2,
+            json_num(d.shadowing_sigma_db),
+            json_num(inc.beacons_per_sec),
+            inc.coverage,
+            json_num(inc.seconds),
+            json_num(reb.seconds),
+            naive
+                .as_ref()
+                .map_or("null".into(), |n| json_num(n.seconds)),
+            inc.bucket_ops,
+            reb.bucket_ops,
+            json_num(reb.seconds / inc.seconds),
+            naive
+                .as_ref()
+                .map_or("null".into(), |n| json_num(n.seconds / inc.seconds)),
+        ));
     }
     t.print();
 
-    // A small batched AEDB evaluation for reference — note this runs the
-    // *paper-scale* D200 problem (50 nodes on the 500 m field), not the
-    // dense scenarios above: the tuning problem is defined over the
-    // paper's fixed networks. The candidate × network product still fans
-    // out over all cores at once.
-    {
+    // A batched AEDB evaluation posed *directly on a dense scenario* —
+    // the tuning problem at beyond-paper scale (the paper-scale problems
+    // are covered by the other experiment binaries).
+    let batch_json = {
+        use aedb::scenario::Scenario;
         use mopt::problem::Problem;
-        let scenario =
-            aedb::scenario::Scenario::quick(aedb::scenario::Density::D200, scale.networks.min(3));
+        let dense = scale.dense[0];
+        let scenario = Scenario::dense(dense, scale.networks.min(3));
+        let n_networks = scenario.n_networks;
         let problem = aedb::problem::AedbProblem::paper(scenario);
         let xs: Vec<Vec<f64>> = vec![
             AedbParams::default_config().to_vec(),
@@ -63,18 +137,30 @@ fn main() {
         ];
         let t0 = Instant::now();
         let evals = problem.evaluate_batch(&xs);
+        let secs = t0.elapsed().as_secs_f64();
         println!(
-            "\nbatched evaluation on the paper-scale 200 dev/km² problem \
-             ({} candidates x {} networks of 50 nodes): {:.3} s",
+            "\nbatched evaluation on the dense problem ({dense}: {} candidates x {n_networks} \
+             networks): {secs:.3} s",
             xs.len(),
-            problem.scenario().n_networks,
-            t0.elapsed().as_secs_f64()
         );
         for (x, ev) in xs.iter().zip(&evals) {
             println!(
-                "  delays [{:.2},{:.2}] border {:>6.1} -> energy {:>7.2} coverage {:>5.1} fwd {:>5.1} viol {:.3}",
+                "  delays [{:.2},{:.2}] border {:>6.1} -> energy {:>8.2} coverage {:>7.1} fwd {:>7.1} viol {:.3}",
                 x[0], x[1], x[2], ev.objectives[0], -ev.objectives[1], ev.objectives[2], ev.violation
             );
         }
-    }
+        format!(
+            "  \"batched_eval\": {{\"nodes\": {}, \"candidates\": {}, \"networks\": {n_networks}, \"seconds\": {}}}",
+            dense.n_nodes,
+            xs.len(),
+            json_num(secs)
+        )
+    };
+
+    let json = format!(
+        "{{\n  \"schema\": \"bench-scale-v1\",\n  \"scenarios\": [\n{}\n  ],\n{batch_json}\n}}\n",
+        json_scenarios.join(",\n")
+    );
+    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    println!("\nwrote BENCH_scale.json ({} scenarios)", scale.dense.len());
 }

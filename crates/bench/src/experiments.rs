@@ -236,10 +236,13 @@ fn interaction_label(inter: f64) -> &'static str {
 /// Figure 6: the AEDB-MLS front vs the Reference front (merged MOEAs), per
 /// density. Prints the 3-D points (energy, coverage, forwardings).
 pub fn exp_fronts(scale: &ExperimentScale) -> Vec<(Density, DensityResults)> {
+    // All densities in one shard: (density × algorithm × repetition)
+    // jobs fan over the pool together.
+    let collected = DensityResults::collect_all(scale, &scale.densities);
     let mut all = Vec::new();
-    for &density in &scale.densities {
+    for results in collected {
+        let density = results.density;
         println!("\n== Figure 6: Pareto fronts — {density} ==");
-        let results = DensityResults::collect(scale, density);
         let mls = merge_fronts(results.of(AlgorithmKind::Mls), 100);
         let reference = merge_candidate_sets(
             &[
@@ -274,10 +277,9 @@ pub fn exp_metrics(scale: &ExperimentScale, prefetched: Option<&[(Density, Densi
     let data: &[(Density, DensityResults)] = match prefetched {
         Some(d) => d,
         None => {
-            owned = scale
-                .densities
-                .iter()
-                .map(|&d| (d, DensityResults::collect(scale, d)))
+            owned = DensityResults::collect_all(scale, &scale.densities)
+                .into_iter()
+                .map(|r| (r.density, r))
                 .collect::<Vec<_>>();
             &owned
         }
@@ -393,10 +395,9 @@ pub fn exp_domination(scale: &ExperimentScale, prefetched: Option<&[(Density, De
     let data: &[(Density, DensityResults)] = match prefetched {
         Some(d) => d,
         None => {
-            owned = scale
-                .densities
-                .iter()
-                .map(|&d| (d, DensityResults::collect(scale, d)))
+            owned = DensityResults::collect_all(scale, &scale.densities)
+                .into_iter()
+                .map(|r| (r.density, r))
                 .collect::<Vec<_>>();
             &owned
         }
@@ -438,10 +439,9 @@ pub fn exp_timing(scale: &ExperimentScale, prefetched: Option<&[(Density, Densit
     let data: &[(Density, DensityResults)] = match prefetched {
         Some(d) => d,
         None => {
-            owned = scale
-                .densities
-                .iter()
-                .map(|&d| (d, DensityResults::collect(scale, d)))
+            owned = DensityResults::collect_all(scale, &scale.densities)
+                .into_iter()
+                .map(|r| (r.density, r))
                 .collect::<Vec<_>>();
             &owned
         }

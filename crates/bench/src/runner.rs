@@ -1,5 +1,14 @@
 //! Runs the three algorithms under the paper's protocol (N independent
 //! seeded repetitions per density) at a configurable scale.
+//!
+//! Parallelism lives at the **repetition** level (the ROADMAP's "shard
+//! whole repetitions/densities" item): every (density × algorithm ×
+//! repetition) job is an independent unit fanned over the thread pool,
+//! and the per-density problem is built with
+//! [`AedbProblem::with_parallel_batches`]`(false)` so the batched
+//! evaluator inside each repetition does not multiply the outer
+//! parallelism into oversubscription. Seeds are per-repetition, so the
+//! sharded schedule is bit-identical to the historical sequential loop.
 
 use crate::scale::ExperimentScale;
 use aedb::problem::AedbProblem;
@@ -9,6 +18,7 @@ use moea::cellde::{CellDe, CellDeConfig};
 use moea::nsga2::{Nsga2, Nsga2Config};
 use mopt::algorithm::{MoAlgorithm, RunResult};
 use mopt::problem::Problem;
+use rayon::prelude::*;
 
 /// The three compared algorithms, in the paper's table order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,15 +96,25 @@ pub fn algorithms_for(scale: &ExperimentScale, kind: AlgorithmKind) -> Box<dyn M
     }
 }
 
-/// Runs `scale.reps` seeded repetitions of `kind` on `problem`.
+/// The seed of repetition `rep` — fixed, so any shard schedule reproduces
+/// the historical sequential runs.
+fn rep_seed(rep: usize) -> u64 {
+    0xBEEF + 97 * rep as u64
+}
+
+/// Runs `scale.reps` seeded repetitions of `kind` on `problem`, sharding
+/// whole repetitions across the thread pool. When `problem` parallelises
+/// its own batches, prefer handing it
+/// [`AedbProblem::with_parallel_batches`]`(false)` so only one layer owns
+/// the pool.
 pub fn run_algorithm(
     scale: &ExperimentScale,
     kind: AlgorithmKind,
     problem: &dyn Problem,
 ) -> Vec<RunResult> {
-    let alg = algorithms_for(scale, kind);
     (0..scale.reps)
-        .map(|rep| alg.run(problem, 0xBEEF + 97 * rep as u64))
+        .into_par_iter()
+        .map(|rep| algorithms_for(scale, kind).run(problem, rep_seed(rep)))
         .collect()
 }
 
@@ -107,14 +127,53 @@ pub struct DensityResults {
 }
 
 impl DensityResults {
-    /// Runs the full per-density protocol.
+    /// Runs the full per-density protocol: every (algorithm × repetition)
+    /// job fans out over the thread pool at once.
     pub fn collect(scale: &ExperimentScale, density: Density) -> Self {
-        let problem = AedbProblem::paper(Scenario::quick(density, scale.networks));
-        let runs = AlgorithmKind::ALL
+        Self::collect_all(scale, &[density])
+            .pop()
+            .expect("one density in, one result out")
+    }
+
+    /// Runs the protocol for several densities in one parallel scope —
+    /// the widest shard: (density × algorithm × repetition) jobs all
+    /// compete for the pool, so a slow density cannot serialise the rest.
+    pub fn collect_all(scale: &ExperimentScale, densities: &[Density]) -> Vec<Self> {
+        // One problem per density, shared by its jobs; inner batch
+        // parallelism off — the repetition jobs already saturate the pool.
+        let problems: Vec<AedbProblem> = densities
             .iter()
-            .map(|&kind| (kind, run_algorithm(scale, kind, &problem)))
+            .map(|&d| {
+                AedbProblem::paper(Scenario::quick(d, scale.networks)).with_parallel_batches(false)
+            })
             .collect();
-        Self { density, runs }
+        let jobs: Vec<(usize, AlgorithmKind, usize)> = (0..densities.len())
+            .flat_map(|di| {
+                AlgorithmKind::ALL
+                    .iter()
+                    .flat_map(move |&kind| (0..scale.reps).map(move |rep| (di, kind, rep)))
+            })
+            .collect();
+        let problems_ref = &problems;
+        let results: Vec<RunResult> = jobs
+            .into_par_iter()
+            .map(|(di, kind, rep)| {
+                algorithms_for(scale, kind).run(&problems_ref[di], rep_seed(rep))
+            })
+            .collect();
+        // Regroup the flat results: jobs were emitted density-major,
+        // algorithm-major, repetition-minor.
+        let mut it = results.into_iter();
+        densities
+            .iter()
+            .map(|&density| {
+                let runs = AlgorithmKind::ALL
+                    .iter()
+                    .map(|&kind| (kind, it.by_ref().take(scale.reps).collect()))
+                    .collect();
+                DensityResults { density, runs }
+            })
+            .collect()
     }
 
     /// The repetition results of one algorithm.
@@ -187,6 +246,50 @@ mod tests {
             }
         }
         assert_eq!(d.of(AlgorithmKind::Mls).len(), 2);
+    }
+
+    #[test]
+    fn sharded_reps_match_sequential_schedule() {
+        // Sharding whole repetitions over the pool must reproduce the
+        // historical sequential loop exactly: same per-rep seeds, fresh
+        // algorithm instance per run.
+        let scale = tiny_scale();
+        let problem = Zdt1::new(5);
+        // MLS is excluded: its *internal* 2x2 thread topology makes even
+        // two identical sequential runs diverge (pre-existing behaviour),
+        // so there is no sequential reference to compare against.
+        for kind in [AlgorithmKind::CellDe, AlgorithmKind::Nsga2] {
+            let sharded = run_algorithm(&scale, kind, &problem);
+            let sequential: Vec<_> = (0..scale.reps)
+                .map(|rep| algorithms_for(&scale, kind).run(&problem, 0xBEEF + 97 * rep as u64))
+                .collect();
+            assert_eq!(sharded.len(), sequential.len());
+            for (a, b) in sharded.iter().zip(&sequential) {
+                let objs = |r: &RunResult| {
+                    r.front
+                        .iter()
+                        .map(|c| c.objectives.clone())
+                        .collect::<Vec<_>>()
+                };
+                assert_eq!(objs(a), objs(b), "{} shard diverged", kind.name());
+                assert_eq!(a.evaluations, b.evaluations);
+            }
+        }
+    }
+
+    #[test]
+    fn collect_all_groups_by_density() {
+        let scale = tiny_scale();
+        let all = DensityResults::collect_all(&scale, &[Density::D100, Density::D200]);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].density, Density::D100);
+        assert_eq!(all[1].density, Density::D200);
+        for d in &all {
+            assert_eq!(d.runs.len(), 3);
+            for (kind, runs) in &d.runs {
+                assert_eq!(runs.len(), scale.reps, "{}", kind.name());
+            }
+        }
     }
 
     #[test]

@@ -4,77 +4,11 @@
 //! grid makes tractable.
 
 use aedb::scenario::Density;
-use manet::geometry::Field;
-use manet::sim::SimConfig;
 
-/// A beyond-paper evaluation scenario: an areal density plus an explicit
-/// node count. The field grows so that `area = n_nodes / per_km2`,
-/// holding the density (and therefore the local connectivity structure)
-/// fixed while the network scales — the regime where the simulator's
-/// spatial grid turns an O(n²) beacon interval into a near-O(n) one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DenseScenario {
-    /// Devices per square kilometre.
-    pub per_km2: u32,
-    /// Total devices.
-    pub n_nodes: usize,
-    /// Base seed; network `k` uses `base_seed + k`.
-    pub base_seed: u64,
-}
-
-impl DenseScenario {
-    /// Scale-up presets: paper densities, 10–20× the paper's node counts.
-    pub const PRESETS: [DenseScenario; 3] = [
-        DenseScenario {
-            per_km2: 200,
-            n_nodes: 500,
-            base_seed: 7_200_500,
-        },
-        DenseScenario {
-            per_km2: 300,
-            n_nodes: 750,
-            base_seed: 7_300_750,
-        },
-        DenseScenario {
-            per_km2: 400,
-            n_nodes: 1000,
-            base_seed: 7_401_000,
-        },
-    ];
-
-    /// A scenario with the given density and node count.
-    pub fn new(per_km2: u32, n_nodes: usize) -> Self {
-        assert!(per_km2 > 0 && n_nodes > 0);
-        Self {
-            per_km2,
-            n_nodes,
-            base_seed: 7_000_000 + per_km2 as u64 * 10_000 + n_nodes as u64,
-        }
-    }
-
-    /// The square field holding `n_nodes` at `per_km2` devices/km².
-    pub fn field(&self) -> Field {
-        let area_km2 = self.n_nodes as f64 / self.per_km2 as f64;
-        let side_m = (area_km2 * 1e6).sqrt();
-        Field::new(side_m, side_m)
-    }
-
-    /// Simulator configuration of network `k`: Table II's physical setup
-    /// (radio, mobility, timing — inherited from [`SimConfig::paper`] so
-    /// the scale experiments can never drift from the paper protocol) on
-    /// the scaled field.
-    pub fn sim_config(&self, k: usize) -> SimConfig {
-        let mut c = SimConfig::paper(self.n_nodes, self.base_seed + k as u64);
-        c.field = self.field();
-        c
-    }
-}
-
-impl std::fmt::Display for DenseScenario {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} nodes @ {} dev/km²", self.n_nodes, self.per_km2)
-    }
-}
+// The dense scenarios now live beside the tuning problem (so `AedbProblem`
+// itself can be posed at 10⁴-node scale); re-exported here because the
+// experiment binaries and benches address them through `bench::scale`.
+pub use aedb::scenario::DenseScenario;
 
 /// Scale knobs of an experiment run.
 #[derive(Debug, Clone)]
@@ -159,30 +93,13 @@ impl ExperimentScale {
                 }
                 "--dense" => {
                     let v = it.next().unwrap_or_else(|| panic!("--dense needs a value"));
-                    scale.dense = v
-                        .split(',')
-                        .map(|spec| {
-                            let (nodes, density) =
-                                spec.trim().split_once('@').unwrap_or_else(|| {
-                                    panic!("--dense wants nodes@density, got {spec}")
-                                });
-                            DenseScenario::new(
-                                density
-                                    .trim()
-                                    .parse()
-                                    .unwrap_or_else(|_| panic!("bad density {density}")),
-                                nodes
-                                    .trim()
-                                    .parse()
-                                    .unwrap_or_else(|_| panic!("bad node count {nodes}")),
-                            )
-                        })
-                        .collect();
+                    scale.dense = v.split(',').map(parse_dense_spec).collect();
                 }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --paper | --reps N --evals N --networks N \
-                         --densities 100,200,300 --dense 500@200,750@300 --fast-samples N"
+                         --densities 100,200,300 --dense 500@200,2000@200@4 \
+                         (nodes@density[@shadowing_db]) --fast-samples N"
                     );
                     std::process::exit(0);
                 }
@@ -203,6 +120,31 @@ fn expect_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> u64 {
     it.next()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| panic!("{flag} needs a numeric value"))
+}
+
+/// Parses one `--dense` component: `nodes@density` with an optional
+/// `@shadowing_db` tail (e.g. `2000@200@4` = 2000 nodes at 200 dev/km²
+/// under 4 dB log-normal shadowing).
+fn parse_dense_spec(spec: &str) -> DenseScenario {
+    let mut parts = spec.trim().split('@');
+    let nodes = parts
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("--dense wants nodes@density[@sigma], got {spec}"));
+    let density = parts
+        .next()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("--dense wants nodes@density[@sigma], got {spec}"));
+    let d = DenseScenario::new(density, nodes);
+    match parts.next() {
+        None => d,
+        Some(sigma) => d.with_shadowing(
+            sigma
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("bad shadowing sigma {sigma}")),
+        ),
+    }
 }
 
 #[cfg(test)]
@@ -281,8 +223,82 @@ mod tests {
         assert_eq!(s.dense.len(), 2);
         assert_eq!(s.dense[0].n_nodes, 600);
         assert_eq!(s.dense[0].per_km2, 250);
+        assert_eq!(s.dense[0].shadowing_sigma_db, 0.0);
         assert_eq!(s.dense[1].n_nodes, 800);
         assert_eq!(s.dense[1].per_km2, 300);
+    }
+
+    #[test]
+    fn dense_flag_parses_shadowing() {
+        let s = parse(&["--dense", "2000@200@4, 10000@400"]);
+        assert_eq!(s.dense.len(), 2);
+        assert_eq!(s.dense[0].shadowing_sigma_db, 4.0);
+        assert_eq!(s.dense[0].n_nodes, 2000);
+        assert_eq!(s.dense[1].shadowing_sigma_db, 0.0);
+        assert_eq!(s.dense[1].n_nodes, 10_000);
+        let c = s.dense[0].sim_config(0);
+        assert_eq!(c.radio.shadowing_sigma_db, 4.0);
+    }
+
+    #[test]
+    fn bounded_tail_grid_beats_naive_on_shadowed_dense() {
+        // Acceptance: shadowed scenarios no longer fall back to the naive
+        // scan — the bounded-tail grid query must be ≥ 2× faster than the
+        // naive path at 200 dev/km² (it is ~4.5× in practice, so the
+        // timing assertion has real margin). Shortened window: the ratio
+        // is duration-invariant and the debug build is slow.
+        use manet::protocol::Flooding;
+        use manet::sim::{DeliveryMode, Simulator};
+        let d = DenseScenario::new(200, 1000).with_shadowing(4.0);
+        let mut cfg = d.sim_config(0);
+        cfg.broadcast_time = 8.0;
+        cfg.end_time = 10.0;
+        let n = cfg.n_nodes;
+        // min-of-2 per mode: cargo test runs sibling tests concurrently,
+        // so a single sample can absorb a scheduling hiccup; the minimum
+        // is the robust estimator of the un-contended cost.
+        let run = |mode: DeliveryMode| {
+            let mut best: Option<(f64, manet::sim::SimReport)> = None;
+            for _ in 0..2 {
+                let mut sim = Simulator::new(cfg.clone(), Flooding::new(n, (0.0, 0.1)));
+                sim.set_delivery_mode(mode);
+                let t0 = std::time::Instant::now();
+                let report = sim.run_to_end();
+                let t = t0.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|(b, _)| t < *b) {
+                    best = Some((t, report));
+                }
+            }
+            best.expect("two runs recorded")
+        };
+        let (t_grid, r_grid) = run(DeliveryMode::Incremental);
+        let (t_naive, r_naive) = run(DeliveryMode::Naive);
+        assert_eq!(r_grid.broadcast, r_naive.broadcast, "paths must agree");
+        assert_eq!(r_grid.counters, r_naive.counters, "paths must agree");
+        assert!(
+            t_naive >= 2.0 * t_grid,
+            "bounded-tail grid must be >= 2x naive on shadowed 200 dev/km²: \
+             grid {t_grid:.3}s vs naive {t_naive:.3}s"
+        );
+    }
+
+    #[test]
+    fn xl_preset_runs_end_to_end_shortened() {
+        // The 10⁴-node XL preset is exercised end-to-end (full protocol)
+        // by exp_scale in release; here a shortened window proves the
+        // preset wiring (field scaling, seeds, incremental default) works.
+        use manet::protocol::Flooding;
+        use manet::sim::Simulator;
+        let d = DenseScenario::XL_PRESETS[1];
+        assert_eq!(d.n_nodes, 10_000);
+        let mut cfg = d.sim_config(0);
+        cfg.broadcast_time = 0.5;
+        cfg.end_time = 1.0;
+        let n = cfg.n_nodes;
+        let report = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1))).run();
+        assert_eq!(report.n_nodes, 10_000);
+        assert!(report.counters.beacons_sent >= 5_000);
+        assert!(report.broadcast.coverage() > 100);
     }
 
     #[test]

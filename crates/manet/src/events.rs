@@ -121,6 +121,110 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// The set of recently started transmissions that can still interfere with
+/// a frame under delivery resolution — the **O(active-set)** replacement
+/// for a flat `VecDeque` log.
+///
+/// Entries are grouped into *lanes*, one per on-air duration class (the
+/// simulator uses two: beacon frames and data frames). Within a lane every
+/// entry has the same duration, so insertion order (= start order, because
+/// simulation time is monotone) is also expiry order and pruning is a pure
+/// front-pop. Across lanes that invariant does not hold — a long data frame
+/// started before a short beacon outlives it — which is exactly the case
+/// that made the old single-deque prune stall and retain already-expired
+/// entries.
+///
+/// Iteration yields survivors in global insertion order (a two-pointer
+/// merge on the per-entry sequence number). That matters for determinism:
+/// interference powers are summed in iteration order, so the order must be
+/// bit-identical to the historical single-deque scan.
+#[derive(Debug, Clone)]
+pub struct ActiveWindow<T> {
+    /// Per-lane `(seq, end_time, payload)`, end-monotone within a lane.
+    lanes: Vec<std::collections::VecDeque<(u64, f64, T)>>,
+    seq: u64,
+}
+
+impl<T> ActiveWindow<T> {
+    /// Creates a window with `lanes` duration classes.
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes >= 1);
+        Self {
+            lanes: (0..lanes)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            seq: 0,
+        }
+    }
+
+    /// Empties the window, retaining lane allocations.
+    pub fn clear(&mut self) {
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.seq = 0;
+    }
+
+    /// Inserts `item` expiring at `end` into `lane`. Entries in one lane
+    /// must be inserted with non-decreasing `end` (same duration class +
+    /// monotone simulation time guarantees this).
+    pub fn insert(&mut self, lane: usize, end: f64, item: T) {
+        debug_assert!(
+            self.lanes[lane].back().is_none_or(|&(_, e, _)| e <= end),
+            "lane {lane} end times must be non-decreasing"
+        );
+        self.lanes[lane].push_back((self.seq, end, item));
+        self.seq += 1;
+    }
+
+    /// Drops every entry with `end <= threshold` — O(dropped), so the
+    /// total prune work over a run is bounded by the number of insertions.
+    pub fn prune(&mut self, threshold: f64) {
+        for lane in &mut self.lanes {
+            while lane.front().is_some_and(|&(_, e, _)| e <= threshold) {
+                lane.pop_front();
+            }
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.lanes.iter().map(|l| l.len()).sum()
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.lanes.iter().all(|l| l.is_empty())
+    }
+
+    /// Iterates the live entries in global insertion order.
+    pub fn iter(&self) -> ActiveWindowIter<'_, T> {
+        ActiveWindowIter {
+            cursors: self.lanes.iter().map(|l| l.iter().peekable()).collect(),
+        }
+    }
+}
+
+/// Merged in-insertion-order iterator over an [`ActiveWindow`].
+pub struct ActiveWindowIter<'a, T> {
+    cursors: Vec<std::iter::Peekable<std::collections::vec_deque::Iter<'a, (u64, f64, T)>>>,
+}
+
+impl<'a, T> Iterator for ActiveWindowIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let lane = self
+            .cursors
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, c)| c.peek().map(|&&(seq, _, _)| (seq, i)))
+            .min()
+            .map(|(_, i)| i)?;
+        self.cursors[lane].next().map(|(_, _, item)| item)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +335,46 @@ mod tests {
         q.schedule_in(0.0, "c"); // same timestamp as "b", inserted later
         assert_eq!(q.pop().unwrap().1, "b");
         assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn active_window_iterates_in_global_insertion_order() {
+        // Two lanes with interleaved insertions: iteration must replay the
+        // exact insertion order (the historical single-deque order that
+        // interference summation depends on).
+        let mut w: ActiveWindow<&str> = ActiveWindow::new(2);
+        w.insert(1, 10.0, "data-a"); // long frame, inserted first
+        w.insert(0, 2.0, "beacon-a");
+        w.insert(0, 2.5, "beacon-b");
+        w.insert(1, 11.0, "data-b");
+        w.insert(0, 3.0, "beacon-c");
+        let got: Vec<&str> = w.iter().copied().collect();
+        assert_eq!(
+            got,
+            ["data-a", "beacon-a", "beacon-b", "data-b", "beacon-c"]
+        );
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn active_window_prunes_expired_behind_long_frames() {
+        // The stall case of the old flat deque: short frames that expired
+        // *behind* a long-lived frame must still be dropped.
+        let mut w: ActiveWindow<u32> = ActiveWindow::new(2);
+        w.insert(1, 100.0, 1); // long data frame holds the front
+        w.insert(0, 2.0, 2);
+        w.insert(0, 3.0, 3);
+        w.insert(0, 50.0, 4);
+        w.prune(3.0); // drops both expired beacons, keeps the data frame
+        let got: Vec<u32> = w.iter().copied().collect();
+        assert_eq!(got, [1, 4]);
+        assert_eq!(w.len(), 2);
+        w.prune(100.0);
+        assert!(w.is_empty());
+        // clear resets the sequence counter too
+        w.insert(0, 1.0, 9);
+        w.clear();
+        assert!(w.iter().next().is_none());
     }
 
     #[test]

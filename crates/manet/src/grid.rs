@@ -7,26 +7,56 @@
 //! default/maximum power fades to the receiver sensitivity). A delivery
 //! query for a transmission at power `tx_dbm` then only has to visit the
 //! cells overlapping a disc of radius `range(tx_dbm) ≤ cell` around the
-//! sender — at most a 3 × 3 block — instead of the whole field.
+//! sender — at most a 3 × 3 block — instead of the whole field. Shadowed
+//! scenarios query a larger disc (the bounded-tail decode range, see
+//! [`crate::radio::SHADOW_TAIL_SIGMAS`]) spanning more cells, but still a
+//! constant-area neighbourhood instead of the whole field.
 //!
-//! Two design points keep the index *exact* (bit-identical to a full
-//! scan, which `tests/determinism.rs` asserts):
+//! # Two maintenance disciplines
 //!
-//! 1. The grid is a **conservative pre-filter**: candidates still undergo
-//!    the precise received-power test, so a few extra candidates cost a
-//!    little time but can never change the outcome. The query radius is
-//!    inflated by a small epsilon so floating-point rounding at the range
-//!    boundary cannot exclude a node the exact test would accept.
-//! 2. Node positions move between rebuilds, so queries add a **staleness
-//!    margin** `v_max · (t_query − t_build)`: a node's true position can
-//!    drift at most that far from its bucketed position. This lets the
-//!    simulator rebuild the grid on a coarse time horizon (amortising the
-//!    O(n) rebuild over many queries) while staying exact.
+//! The grid supports both of the simulator's delivery paths (see
+//! [`crate::sim::DeliveryMode`]):
+//!
+//! 1. **Horizon rebuild** (the historical scheme): [`rebuild`] re-buckets
+//!    all `n` nodes on a coarse time horizon, and queries add a *staleness
+//!    margin* `v_max · (t_query − t_build)` to the radius because node
+//!    positions drift between rebuilds. O(n) per horizon lapse regardless
+//!    of how little anything moved.
+//! 2. **Incremental** (event-driven): each cell is a doubly-linked list so
+//!    [`update_node`] moves one node between cells in O(1). The simulator
+//!    drives these updates from per-node *cell-crossing events*: a node at
+//!    distance `d` from its cell boundary moving at speed `s` cannot change
+//!    cell before `d / s`, so a refresh scheduled then keeps every bucket
+//!    exact (up to a tiny Zeno floor, compensated in the query radius) at a
+//!    total cost proportional to the number of actual cell crossings —
+//!    O(active set), not O(n · horizons).
+//!
+//! Both disciplines are *conservative pre-filters*: candidates still
+//! undergo the precise received-power test, so extra candidates cost a
+//! little time but can never change the outcome, and the query radius is
+//! inflated by a small epsilon so floating-point rounding at the range
+//! boundary cannot exclude a node the exact test would accept. This is
+//! what makes all delivery paths bit-identical (asserted by
+//! `tests/determinism.rs` and the property suite).
 
 use crate::geometry::{Field, Vec2};
 
-/// Bucketed node positions with linked-list cells (no per-query
-/// allocation; rebuilds reuse every buffer).
+/// Maintenance-cost counters of a [`SpatialGrid`] — the measurable half of
+/// the "incremental beats horizon-rebuild" claim. A bucket *op* is one
+/// linked-list write: a rebuild costs `n` ops, an incremental node move
+/// costs 2 (unlink + relink).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GridStats {
+    /// Linked-list writes performed so far.
+    pub bucket_ops: u64,
+    /// Full [`SpatialGrid::rebuild`] passes performed so far.
+    pub rebuilds: u64,
+    /// Incremental cell transitions applied by [`SpatialGrid::update_node`].
+    pub node_moves: u64,
+}
+
+/// Bucketed node positions with doubly-linked-list cells (no per-query
+/// allocation; rebuilds reuse every buffer, incremental updates are O(1)).
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     /// Cell edge length (m).
@@ -39,10 +69,16 @@ pub struct SpatialGrid {
     heads: Vec<usize>,
     /// Next node index in the same cell (`usize::MAX` = end).
     next: Vec<usize>,
-    /// Node positions captured at the last rebuild.
+    /// Previous node index in the same cell (`usize::MAX` = head).
+    prev: Vec<usize>,
+    /// Cell index each node is currently bucketed in.
+    cell_idx: Vec<usize>,
+    /// Node positions captured at the last rebuild/update.
     pos: Vec<Vec2>,
     /// Simulation time of the last rebuild.
     built_at: f64,
+    /// Maintenance counters.
+    stats: GridStats,
 }
 
 const NONE: usize = usize::MAX;
@@ -61,8 +97,11 @@ impl SpatialGrid {
             rows,
             heads: vec![NONE; cols * rows],
             next: Vec::new(),
+            prev: Vec::new(),
+            cell_idx: Vec::new(),
             pos: Vec::new(),
             built_at: f64::NEG_INFINITY,
+            stats: GridStats::default(),
         }
     }
 
@@ -76,6 +115,17 @@ impl SpatialGrid {
         self.built_at
     }
 
+    /// Maintenance counters accumulated since the last
+    /// [`reset_stats`](Self::reset_stats).
+    pub fn stats(&self) -> GridStats {
+        self.stats
+    }
+
+    /// Zeroes the maintenance counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = GridStats::default();
+    }
+
     fn cell_of(&self, p: Vec2) -> usize {
         // Positions are inside the field; clamp anyway so a boundary value
         // (x == width) maps to the last column.
@@ -84,27 +134,113 @@ impl SpatialGrid {
         cy * self.cols + cx
     }
 
+    /// Distance (m) from `p` to the nearest boundary of the cell that
+    /// contains it — the incremental refresh scheduler divides this by the
+    /// node's speed bound to find the earliest possible cell crossing.
+    pub fn boundary_distance(&self, p: Vec2) -> f64 {
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1) as f64;
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1) as f64;
+        let dx = (p.x - cx * self.cell).min((cx + 1.0) * self.cell - p.x);
+        let dy = (p.y - cy * self.cell).min((cy + 1.0) * self.cell - p.y);
+        dx.min(dy).max(0.0)
+    }
+
+    fn link(&mut self, i: usize, c: usize) {
+        let head = self.heads[c];
+        self.next[i] = head;
+        self.prev[i] = NONE;
+        if head != NONE {
+            self.prev[head] = i;
+        }
+        self.heads[c] = i;
+        self.cell_idx[i] = c;
+        self.stats.bucket_ops += 1;
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p != NONE {
+            self.next[p] = n;
+        } else {
+            self.heads[self.cell_idx[i]] = n;
+        }
+        if n != NONE {
+            self.prev[n] = p;
+        }
+        self.stats.bucket_ops += 1;
+    }
+
     /// Re-buckets all `n` nodes using `position(i)` sampled at time `t`.
     /// Reuses every internal buffer; O(cells + n).
     pub fn rebuild<F: FnMut(usize) -> Vec2>(&mut self, n: usize, t: f64, mut position: F) {
         self.heads.fill(NONE);
         self.next.clear();
         self.next.resize(n, NONE);
+        self.prev.clear();
+        self.prev.resize(n, NONE);
+        self.cell_idx.clear();
+        self.cell_idx.resize(n, NONE);
         self.pos.clear();
         for i in 0..n {
             let p = position(i);
             self.pos.push(p);
             let c = self.cell_of(p);
-            self.next[i] = self.heads[c];
-            self.heads[c] = i;
+            self.link(i, c);
         }
         self.built_at = t;
+        self.stats.rebuilds += 1;
+    }
+
+    /// Moves node `i` (already bucketed by a previous
+    /// [`rebuild`](Self::rebuild)) to the cell containing `p` in O(1) and
+    /// records `p` as its latest known position. Returns whether the node
+    /// actually changed cell.
+    pub fn update_node(&mut self, i: usize, p: Vec2) -> bool {
+        self.pos[i] = p;
+        let c = self.cell_of(p);
+        if c == self.cell_idx[i] {
+            return false;
+        }
+        self.unlink(i);
+        self.link(i, c);
+        self.stats.node_moves += 1;
+        true
     }
 
     /// Pushes into `out` every node whose **bucketed** position lies within
     /// `radius` of `center` (conservative: callers must re-check candidates
     /// against exact, current positions). `out` is appended to, unsorted.
     pub fn candidates_within(&self, center: Vec2, radius: f64, out: &mut Vec<usize>) {
+        self.visit_cells(center, radius, |grid, cell| {
+            let r2 = radius * radius;
+            let mut i = grid.heads[cell];
+            while i != NONE {
+                if grid.pos[i].distance_sq(center) <= r2 {
+                    out.push(i);
+                }
+                i = grid.next[i];
+            }
+        });
+    }
+
+    /// Pushes into `out` every node bucketed in a cell overlapping the disc
+    /// of `radius` around `center`, with **no** per-node distance filter —
+    /// the query used by the incremental discipline, where buckets are
+    /// exact but stored positions may be older than the bucket (a node is
+    /// re-bucketed when it crosses a cell boundary, not when it moves
+    /// within its cell). `out` is appended to, unsorted.
+    pub fn cells_within(&self, center: Vec2, radius: f64, out: &mut Vec<usize>) {
+        self.visit_cells(center, radius, |grid, cell| {
+            let mut i = grid.heads[cell];
+            while i != NONE {
+                out.push(i);
+                i = grid.next[i];
+            }
+        });
+    }
+
+    /// Visits every cell overlapping the disc (`center`, `radius`).
+    fn visit_cells<F: FnMut(&Self, usize)>(&self, center: Vec2, radius: f64, mut visit: F) {
         let r2 = radius * radius;
         let inv = 1.0 / self.cell;
         let cx0 = (((center.x - radius) * inv).floor().max(0.0)) as usize;
@@ -125,13 +261,7 @@ impl SpatialGrid {
                 if dx * dx + dy * dy > r2 {
                     continue; // cell entirely outside the disc
                 }
-                let mut i = self.heads[cy * self.cols + cx];
-                while i != NONE {
-                    if self.pos[i].distance_sq(center) <= r2 {
-                        out.push(i);
-                    }
-                    i = self.next[i];
-                }
+                visit(self, cy * self.cols + cx);
             }
         }
     }
@@ -149,11 +279,7 @@ mod tests {
         v
     }
 
-    #[test]
-    fn matches_brute_force_scan() {
-        let field = Field::new(500.0, 500.0);
-        let mut grid = SpatialGrid::new(field, 140.0);
-        // Deterministic pseudo-random points.
+    fn pseudo_points(n: usize, side: f64) -> Vec<Vec2> {
         let mut x: u64 = 0x1234_5678_9ABC_DEF0;
         let mut step = move || {
             x ^= x << 13;
@@ -161,9 +287,16 @@ mod tests {
             x ^= x << 17;
             (x >> 11) as f64 / (1u64 << 53) as f64
         };
-        let pts: Vec<Vec2> = (0..200)
-            .map(|_| Vec2::new(step() * 500.0, step() * 500.0))
-            .collect();
+        (0..n)
+            .map(|_| Vec2::new(step() * side, step() * side))
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_scan() {
+        let field = Field::new(500.0, 500.0);
+        let mut grid = SpatialGrid::new(field, 140.0);
+        let pts = pseudo_points(200, 500.0);
         grid.rebuild(pts.len(), 0.0, |i| pts[i]);
         for &(cx, cy, r) in &[
             (250.0, 250.0, 139.0),
@@ -176,6 +309,12 @@ mod tests {
             grid.candidates_within(center, r, &mut got);
             got.sort_unstable();
             assert_eq!(got, brute_force(&pts, center, r), "query ({cx},{cy}) r={r}");
+            // the unfiltered cell query must be a superset
+            let mut cells = Vec::new();
+            grid.cells_within(center, r, &mut cells);
+            for hit in brute_force(&pts, center, r) {
+                assert!(cells.contains(&hit), "cells_within missed {hit}");
+            }
         }
     }
 
@@ -196,6 +335,69 @@ mod tests {
         out.clear();
         grid.candidates_within(Vec2::new(90.0, 90.0), 5.0, &mut out);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn incremental_updates_match_rebuild() {
+        // Random walks applied via update_node must leave the grid in the
+        // same queryable state as a from-scratch rebuild at every step.
+        let field = Field::new(300.0, 300.0);
+        let mut inc = SpatialGrid::new(field, 70.0);
+        let mut pts = pseudo_points(120, 300.0);
+        inc.rebuild(pts.len(), 0.0, |i| pts[i]);
+        let mut x: u64 = 0xDEAD_BEEF_1234_5678;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for round in 0..20 {
+            for (i, p) in pts.iter_mut().enumerate() {
+                p.x = (p.x + step() * 120.0).clamp(0.0, 300.0);
+                p.y = (p.y + step() * 120.0).clamp(0.0, 300.0);
+                inc.update_node(i, *p);
+            }
+            let mut reference = SpatialGrid::new(field, 70.0);
+            reference.rebuild(pts.len(), 0.0, |i| pts[i]);
+            for &(cx, cy, r) in &[(150.0, 150.0, 69.0), (10.0, 290.0, 50.0)] {
+                let center = Vec2::new(cx, cy);
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                inc.candidates_within(center, r, &mut a);
+                reference.candidates_within(center, r, &mut b);
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "round {round} query ({cx},{cy})");
+            }
+        }
+        let stats = inc.stats();
+        assert!(stats.node_moves > 0, "walks this large must cross cells");
+        assert_eq!(stats.rebuilds, 1, "only the initial placement rebuilds");
+    }
+
+    #[test]
+    fn update_node_within_cell_is_free() {
+        let field = Field::new(100.0, 100.0);
+        let mut grid = SpatialGrid::new(field, 50.0);
+        grid.rebuild(1, 0.0, |_| Vec2::new(10.0, 10.0));
+        let ops0 = grid.stats().bucket_ops;
+        assert!(!grid.update_node(0, Vec2::new(12.0, 11.0)));
+        assert_eq!(grid.stats().bucket_ops, ops0, "same-cell move costs 0 ops");
+        assert!(grid.update_node(0, Vec2::new(80.0, 10.0)));
+        assert_eq!(grid.stats().bucket_ops, ops0 + 2, "move = unlink + link");
+        assert_eq!(grid.stats().node_moves, 1);
+    }
+
+    #[test]
+    fn boundary_distance_is_a_crossing_lower_bound() {
+        let field = Field::new(100.0, 100.0);
+        let grid = SpatialGrid::new(field, 30.0);
+        // interior of cell (1,1): 15 m from the nearest edge at (45,45)
+        assert!((grid.boundary_distance(Vec2::new(45.0, 45.0)) - 15.0).abs() < 1e-9);
+        // right on an edge
+        assert_eq!(grid.boundary_distance(Vec2::new(60.0, 45.0)), 0.0);
+        // clamped last cell (ragged edge): still non-negative
+        assert!(grid.boundary_distance(Vec2::new(99.9, 99.9)) >= 0.0);
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub mod sim;
 pub mod trace;
 
 pub use geometry::Vec2;
+pub use grid::GridStats;
 pub use metrics::BroadcastMetrics;
 pub use protocol::{Protocol, ProtocolApi};
-pub use radio::{dbm_to_mw, mw_to_dbm, PathLoss, RadioConfig};
-pub use sim::{NodeId, SimConfig, Simulator};
+pub use radio::{dbm_to_mw, mw_to_dbm, PathLoss, RadioConfig, SHADOW_TAIL_SIGMAS};
+pub use sim::{DeliveryMode, NodeId, SimConfig, Simulator};

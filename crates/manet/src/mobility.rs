@@ -27,6 +27,15 @@ pub trait Mobility {
     /// [`next_change`](Mobility::next_change). `rng` supplies the new
     /// random speed/direction.
     fn advance(&mut self, rng: &mut dyn rand::RngCore);
+
+    /// An upper bound on the node's speed (m/s) from time `t` until
+    /// [`next_change`](Mobility::next_change). The incremental spatial
+    /// index divides the distance to the node's current grid-cell boundary
+    /// by this bound to schedule the next possible cell crossing; it must
+    /// therefore never under-report (over-reporting merely fires a refresh
+    /// early, while reporting `0` suppresses refreshes until the next
+    /// mobility change re-anchors the schedule).
+    fn speed(&self, t: f64) -> f64;
 }
 
 /// Random-walk mobility (Table II): straight segments with uniform random
@@ -92,6 +101,11 @@ impl Mobility for RandomWalk {
         self.origin = self.position(t1);
         self.t0 = t1;
         self.redraw(rng);
+    }
+
+    fn speed(&self, _t: f64) -> f64 {
+        // Constant within a segment; reflection preserves magnitude.
+        self.velocity.norm()
     }
 }
 
@@ -177,6 +191,21 @@ impl Mobility for RandomWaypoint {
         self.t0 = self.next_change();
         self.pick_waypoint(rng);
     }
+
+    fn speed(&self, t: f64) -> f64 {
+        // Travel speed of the leg while en route; once arrived the node is
+        // parked until the next waypoint, so refreshes can stop (the
+        // mobility-change event at `arrival + pause` re-anchors them).
+        if t >= self.arrival {
+            return 0.0;
+        }
+        let total = self.arrival - self.t0;
+        if total > 0.0 && total.is_finite() {
+            self.origin.distance(self.dest) / total
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A node that never moves (useful for static-topology tests).
@@ -194,6 +223,9 @@ impl Mobility for Stationary {
         f64::INFINITY
     }
     fn advance(&mut self, _rng: &mut dyn rand::RngCore) {}
+    fn speed(&self, _t: f64) -> f64 {
+        0.0
+    }
 }
 
 /// Which mobility model the simulator should instantiate per node.
@@ -243,6 +275,13 @@ impl Mobility for AnyMobility {
             AnyMobility::Walk(m) => m.advance(rng),
             AnyMobility::Waypoint(m) => m.advance(rng),
             AnyMobility::Still(m) => m.advance(rng),
+        }
+    }
+    fn speed(&self, t: f64) -> f64 {
+        match self {
+            AnyMobility::Walk(m) => m.speed(t),
+            AnyMobility::Waypoint(m) => m.speed(t),
+            AnyMobility::Still(m) => m.speed(t),
         }
     }
 }

@@ -6,10 +6,13 @@
 //! users need a single dependency:
 //!
 //! * [`manet`] — discrete-event MANET simulator (the ns-3 substitute) with
-//!   a spatially-indexed, reusable core: delivery queries go through a
-//!   uniform grid over the field instead of scanning all nodes, and a
-//!   simulator instance can be [`reset`](manet::sim::Simulator::reset)
-//!   across runs without reallocating,
+//!   an incremental, reusable core: delivery queries go through a uniform
+//!   grid maintained by per-node cell-crossing events (O(1) moves instead
+//!   of horizon rebuilds — see [`manet::sim::DeliveryMode`]), interference
+//!   tracking is O(active-set), shadowed scenarios use a bounded-tail
+//!   (+4σ) finite-range query, and a simulator instance can be
+//!   [`reset`](manet::sim::Simulator::reset) across runs without
+//!   reallocating,
 //! * [`aedb`] — the AEDB broadcast protocol and its tuning problem, with
 //!   batched (candidate × network) evaluation and a quantized evaluation
 //!   cache,
@@ -75,7 +78,7 @@ pub mod prelude {
     pub use aedb::params::AedbParams;
     pub use aedb::problem::{AedbOutcome, AedbProblem};
     pub use aedb::protocol::Aedb;
-    pub use aedb::scenario::{Density, Scenario};
+    pub use aedb::scenario::{DenseScenario, Density, Scenario};
     pub use aedb_mls::criteria::SearchCriteria;
     pub use aedb_mls::hybrid::{CellDeMls, CellDeMlsConfig};
     pub use aedb_mls::mls::{
@@ -84,7 +87,7 @@ pub mod prelude {
     pub use fast99::{Fast99, Indices};
     pub use manet::grid::SpatialGrid;
     pub use manet::protocol::{Flooding, Protocol, ProtocolApi, SourceOnly};
-    pub use manet::sim::{SimConfig, SimReport, Simulator};
+    pub use manet::sim::{DeliveryMode, SimConfig, SimReport, Simulator};
     pub use moea::cellde::{CellDe, CellDeConfig};
     pub use moea::mocell::{MoCell, MoCellConfig};
     pub use moea::nsga2::{Nsga2, Nsga2Config};

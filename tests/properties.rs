@@ -199,3 +199,49 @@ proptest! {
         prop_assert!(b.energy_dbm_sum <= b.forwardings as f64 * 16.02 + 1e-9);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn delivery_modes_agree_on_random_mobility_traces(
+        n in 5usize..36,
+        seed in 0u64..10_000,
+        mobility_kind in 0usize..3,
+        sigma_idx in 0usize..3,
+        field_side in 200.0f64..700.0,
+    ) {
+        // Random mobility traces across all three delivery paths: the
+        // incremental event-driven grid, the horizon-rebuild grid and the
+        // naive scan must report identical metrics AND counters. Shadowed
+        // configs are included: the +4σ bounded tail lives inside the
+        // propagation model itself (see manet::radio::SHADOW_TAIL_SIGMAS,
+        // whose clipped-mass error budget is asserted in the radio tests),
+        // so shadowing changes *what* is simulated, never how the paths
+        // relate — equality stays bit-exact.
+        let mut c = SimConfig::paper(n, seed);
+        c.field = manet::geometry::Field::new(field_side, field_side);
+        c.mobility = match mobility_kind {
+            0 => manet::mobility::MobilityModel::RandomWalk { change_interval: 5.0 },
+            1 => manet::mobility::MobilityModel::RandomWaypoint { pause: 1.0 },
+            _ => manet::mobility::MobilityModel::Stationary,
+        };
+        c.radio.shadowing_sigma_db = [0.0, 4.0, 6.0][sigma_idx];
+        // Shortened protocol: enough beaconing to build neighbour tables,
+        // then the broadcast — keeps 30 random sims per suite run cheap.
+        c.broadcast_time = 3.0;
+        c.end_time = 6.0;
+        let run = |mode: DeliveryMode| {
+            let mut sim = Simulator::new(c.clone(), Flooding::new(n, (0.0, 0.1)));
+            sim.set_delivery_mode(mode);
+            sim.run_to_end()
+        };
+        let inc = run(DeliveryMode::Incremental);
+        let reb = run(DeliveryMode::HorizonRebuild);
+        let naive = run(DeliveryMode::Naive);
+        prop_assert_eq!(&inc.broadcast, &reb.broadcast);
+        prop_assert_eq!(&inc.counters, &reb.counters);
+        prop_assert_eq!(&inc.broadcast, &naive.broadcast);
+        prop_assert_eq!(&inc.counters, &naive.counters);
+    }
+}

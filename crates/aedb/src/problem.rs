@@ -88,8 +88,12 @@ pub struct AedbProblem {
 
 impl AedbProblem {
     /// Paper-faithful problem: Table III bounds, 10 fixed networks,
-    /// sequential per-candidate simulation (batch evaluation and the
-    /// algorithms parallelise above this).
+    /// sequential per-candidate simulation at paper scale (batch
+    /// evaluation and the algorithms parallelise above this). Dense
+    /// campaigns additionally fan the network axis of a *single* candidate
+    /// across the pool — see
+    /// [`evaluate_full`](Self::evaluate_full) — because one dense
+    /// candidate is already seconds of simulation.
     ///
     /// The quantized evaluation cache is **enabled** by default: decision
     /// vectors are snapped to a `2^20`-step lattice per variable, so two
@@ -400,12 +404,28 @@ impl AedbProblem {
         }
     }
 
-    /// Full evaluation: averages the observables over all networks.
+    /// Whether a lone candidate's networks should fan out over the thread
+    /// pool: always when [`with_parallel_sims`](Self::with_parallel_sims)
+    /// asked for it, and **automatically for dense campaigns** — there a
+    /// single candidate is hundreds-to-10⁴-node simulations, so leaving
+    /// nine cores idle per candidate dominates end-to-end time. Gated on
+    /// `parallel_batches` so callers that shard whole repetitions across
+    /// the pool (`bench::runner`) keep a single layer of parallelism.
+    fn parallel_single_candidate(&self) -> bool {
+        self.parallel
+            || (self.parallel_batches && self.scenario.is_dense() && self.scenario.n_networks > 1)
+    }
+
+    /// Full evaluation: averages the observables over all networks —
+    /// fanned across the thread pool when
+    /// [`parallel_single_candidate`](Self::parallel_single_candidate)
+    /// applies (the per-network parallelism *inside one candidate* that
+    /// dense 10⁴-node campaigns need).
     pub fn evaluate_full(&self, params: AedbParams) -> AedbOutcome {
         let n = self.scenario.n_networks;
         // Parallel path collects first and folds in index order so the
         // floating-point sum is bit-identical to the sequential path.
-        if self.parallel {
+        if self.parallel_single_candidate() {
             let outcomes: Vec<AedbOutcome> = (0..n)
                 .into_par_iter()
                 .map(|k| self.simulate_one(params, k))
@@ -458,9 +478,12 @@ impl Problem for AedbProblem {
     /// then fans the remaining (candidate × network) product out over the
     /// thread pool in one parallel scope. With small populations this
     /// exposes `candidates × networks` units of work instead of
-    /// per-candidate `networks`, keeping every core busy; per-network
-    /// outcomes are folded in network order so each result is bit-identical
-    /// to a per-candidate [`evaluate`](Problem::evaluate) call.
+    /// per-candidate `networks` — in the degenerate dense-campaign shape
+    /// of a *single* fresh candidate, the scope **is** the network axis of
+    /// that one candidate, so even a batch of one keeps every core busy.
+    /// Per-network outcomes are folded in network order so each result is
+    /// bit-identical to a per-candidate [`evaluate`](Problem::evaluate)
+    /// call.
     fn evaluate_batch(&self, xs: &[Vec<f64>]) -> Vec<Evaluation> {
         let n_nets = self.scenario.n_networks;
         let mut results: Vec<Option<Evaluation>> = Vec::with_capacity(xs.len());
@@ -796,6 +819,45 @@ mod tests {
             .with_parallel_batches(false)
             .evaluate_batch(&xs);
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn dense_single_candidate_fans_networks_bit_identically() {
+        // The per-network parallelism *inside one candidate*: a dense
+        // scenario evaluates a lone candidate across the pool by default,
+        // and the result must be bit-identical to the fully sequential
+        // path (outcomes are folded in network index order either way).
+        use crate::scenario::DenseScenario;
+        let dense = DenseScenario::new(200, 500);
+        let x = AedbParams::default_config().to_vec();
+        let par = AedbProblem::paper(Scenario::dense(dense, 3));
+        assert!(
+            par.parallel_single_candidate(),
+            "dense campaigns parallelise single candidates by default"
+        );
+        let seq = AedbProblem::paper(Scenario::dense(dense, 3)).with_parallel_batches(false);
+        assert!(
+            !seq.parallel_single_candidate(),
+            "repetition-sharded callers keep one layer of parallelism"
+        );
+        let a = par.evaluate(&x);
+        let b = seq.evaluate(&x);
+        assert_eq!(a.objectives, b.objectives);
+        assert_eq!(a.violation, b.violation);
+        // ... and the batch-of-one shape agrees too.
+        let c =
+            AedbProblem::paper(Scenario::dense(dense, 3)).evaluate_batch(std::slice::from_ref(&x));
+        assert_eq!(c[0], a);
+    }
+
+    #[test]
+    fn paper_scale_single_candidate_stays_sequential() {
+        // Paper-scale problems keep the historical sequential single-
+        // candidate path unless with_parallel_sims opts in: thousands of
+        // 25–75-node simulations parallelise better one layer up.
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 2));
+        assert!(!p.parallel_single_candidate());
+        assert!(p.with_parallel_sims(true).parallel_single_candidate());
     }
 
     #[test]

@@ -47,6 +47,10 @@ struct NodeState {
 pub struct Aedb {
     params: AedbParams,
     nodes: Vec<NodeState>,
+    /// Scratch for the neighbour table of the node currently deciding —
+    /// filled through [`ProtocolApi::neighbors_into`] so the per-forward
+    /// power estimate allocates nothing after warm-up.
+    neighbor_scratch: Vec<manet::neighbor::NeighborEntry>,
 }
 
 impl Aedb {
@@ -55,6 +59,7 @@ impl Aedb {
         Self {
             params,
             nodes: vec![NodeState::default(); n],
+            neighbor_scratch: Vec::new(),
         }
     }
 
@@ -74,26 +79,30 @@ impl Aedb {
 
     /// Estimates the transmit power (dBm) for `node`, implementing lines
     /// 19–24 of Fig. 1. Exposed for unit tests.
-    fn estimate_tx_power(&self, node: NodeId, api: &mut dyn ProtocolApi) -> f64 {
+    fn estimate_tx_power(&mut self, node: NodeId, api: &mut dyn ProtocolApi) -> f64 {
         let p = &self.params;
         let default = api.default_tx_dbm();
         let sensitivity = api.rx_sensitivity_dbm();
-        let neighbors = api.neighbors(node);
+        let neighbors = &mut self.neighbor_scratch;
+        api.neighbors_into(node, neighbors);
         // Required power to make a neighbour with beacon power `rx` decode
         // us: the beacon's path loss is (default − rx), so we must emit at
         // sensitivity + loss (+ margin).
         let needed =
             |beacon_rx_dbm: f64| sensitivity + (default - beacon_rx_dbm) + p.margin_threshold;
-        let potential: Vec<f64> = neighbors
-            .iter()
-            .filter(|e| e.rx_dbm <= p.border_threshold)
-            .map(|e| e.rx_dbm)
-            .collect();
-        let tx = if potential.len() as f64 > p.neighbors_threshold && !potential.is_empty() {
+        // The potential forwarders — live neighbours whose beacons arrive
+        // at or below the border threshold — reduced in one pass (count +
+        // strongest beacon) instead of collecting them.
+        let mut n_potential = 0usize;
+        let mut strongest = f64::NEG_INFINITY;
+        for e in neighbors.iter().filter(|e| e.rx_dbm <= p.border_threshold) {
+            n_potential += 1;
+            strongest = strongest.max(e.rx_dbm);
+        }
+        let tx = if n_potential as f64 > p.neighbors_threshold && n_potential > 0 {
             // Dense: reach only the forwarding-area node closest to the
             // border threshold (strongest beacon among the potential
             // forwarders).
-            let strongest = potential.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             needed(strongest)
         } else {
             // Sparse: keep connectivity — reach the furthest neighbour,

@@ -4,15 +4,18 @@
 //! (the historical baseline) and the naive O(n²) scan — plus a batched
 //! AEDB evaluation posed directly on a dense scenario.
 //!
-//! Emits **`BENCH_scale.json`** (schema `bench-scale-v1`) so the perf
-//! trajectory stays machine-readable across PRs.
+//! Emits **`BENCH_scale.json`** (schema `bench-scale-v2`) so the perf
+//! trajectory stays machine-readable across PRs: per row, wall time per
+//! delivery mode, the candidate-filter vs receive-outcome split of the
+//! query (from [`Simulator::query_profile`]) and the process's peak RSS
+//! high-water mark when the row finished.
 //!
 //! Flags: `--dense 500@200,2000@200@4,10000@400` selects scenarios
 //! (`nodes@density[@shadowing_db]`), `--paper` runs all presets including
 //! the 10⁴-node and shadowed ones.
 use aedb::params::AedbParams;
 use aedb::scenario::DenseScenario;
-use bench_harness::scale::ExperimentScale;
+use bench_harness::scale::{peak_rss_bytes, ExperimentScale};
 use bench_harness::tables::{f, Table};
 use manet::protocol::Flooding;
 use manet::sim::{DeliveryMode, Simulator};
@@ -27,6 +30,10 @@ struct ModeRun {
     coverage: usize,
     beacons_per_sec: f64,
     bucket_ops: u64,
+    /// Candidate gathering/filtering/ordering seconds (profiled).
+    filter_s: f64,
+    /// Exact receive-outcome seconds (profiled).
+    outcome_s: f64,
 }
 
 fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
@@ -35,14 +42,20 @@ fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
     let duration = cfg.end_time;
     let mut sim = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1)));
     sim.set_delivery_mode(mode);
+    // Profiling samples two `Instant`s per delivery query in *every* mode,
+    // so the overhead cancels out of the mode-vs-mode speedups.
+    sim.set_query_profiling(true);
     let t0 = Instant::now();
     let report = sim.run_to_end();
     let seconds = t0.elapsed().as_secs_f64();
+    let profile = sim.query_profile();
     ModeRun {
         seconds,
         coverage: report.broadcast.coverage(),
         beacons_per_sec: report.counters.beacons_sent as f64 / duration,
         bucket_ops: sim.grid_stats().bucket_ops,
+        filter_s: profile.filter_s,
+        outcome_s: profile.outcome_s,
     }
 }
 
@@ -67,6 +80,7 @@ fn main() {
         "scenario",
         "field (m)",
         "incremental (s)",
+        "filter/outcome (s)",
         "rebuild (s)",
         "naive (s)",
         "inc/reb ops",
@@ -86,6 +100,7 @@ fn main() {
             d.to_string(),
             f(d.field().width, 0),
             f(inc.seconds, 3),
+            format!("{}/{}", f(inc.filter_s, 3), f(inc.outcome_s, 3)),
             f(reb.seconds, 3),
             naive.as_ref().map_or("-".into(), |n| f(n.seconds, 3)),
             format!("{}/{}", inc.bucket_ops, reb.bucket_ops),
@@ -96,7 +111,10 @@ fn main() {
                 "    {{\"nodes\": {}, \"per_km2\": {}, \"shadowing_sigma_db\": {}, ",
                 "\"beacons_per_sec\": {}, \"coverage\": {},\n",
                 "     \"incremental_s\": {}, \"rebuild_s\": {}, \"naive_s\": {},\n",
+                "     \"incremental_filter_s\": {}, \"incremental_outcome_s\": {},\n",
+                "     \"rebuild_filter_s\": {}, \"rebuild_outcome_s\": {},\n",
                 "     \"incremental_bucket_ops\": {}, \"rebuild_bucket_ops\": {},\n",
+                "     \"peak_rss_bytes\": {},\n",
                 "     \"speedup_rebuild_over_incremental\": {}, ",
                 "\"speedup_naive_over_incremental\": {}}}"
             ),
@@ -110,8 +128,13 @@ fn main() {
             naive
                 .as_ref()
                 .map_or("null".into(), |n| json_num(n.seconds)),
+            json_num(inc.filter_s),
+            json_num(inc.outcome_s),
+            json_num(reb.filter_s),
+            json_num(reb.outcome_s),
             inc.bucket_ops,
             reb.bucket_ops,
+            peak_rss_bytes().map_or("null".into(), |b| b.to_string()),
             json_num(reb.seconds / inc.seconds),
             naive
                 .as_ref()
@@ -158,7 +181,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"bench-scale-v1\",\n  \"scenarios\": [\n{}\n  ],\n{batch_json}\n}}\n",
+        "{{\n  \"schema\": \"bench-scale-v2\",\n  \"scenarios\": [\n{}\n  ],\n{batch_json}\n}}\n",
         json_scenarios.join(",\n")
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");

@@ -10,6 +10,18 @@ use aedb::scenario::Density;
 // experiment binaries and benches address them through `bench::scale`.
 pub use aedb::scenario::DenseScenario;
 
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where that interface does not exist.
+/// The value is a process-lifetime high-water mark — monotone across
+/// scenarios — which is exactly what the scale experiment records per row:
+/// "how much memory had this run needed by the time the row finished".
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 /// Scale knobs of an experiment run.
 #[derive(Debug, Clone)]
 pub struct ExperimentScale {
@@ -280,6 +292,70 @@ mod tests {
             "bounded-tail grid must be >= 2x naive on shadowed 200 dev/km²: \
              grid {t_grid:.3}s vs naive {t_naive:.3}s"
         );
+    }
+
+    #[test]
+    fn incremental_not_slower_than_rebuild_end_to_end() {
+        // The PR-3 regression lock: after the SoA-snapshot query overhaul,
+        // `Incremental` must be at least as fast as `HorizonRebuild`
+        // end-to-end (speedup_rebuild_over_incremental ≥ 1.0 — it had
+        // silently regressed to 0.61–0.96× when only grid *maintenance*
+        // was incremental). Shortened window + min-of-3 per mode (the
+        // minimum is the robust estimator of the un-contended cost under
+        // concurrent sibling tests); release `exp_scale` records the
+        // full-protocol version of this claim in `BENCH_scale.json`.
+        use manet::protocol::Flooding;
+        use manet::sim::{DeliveryMode, Simulator};
+        let d = DenseScenario::new(400, 2000);
+        let mut cfg = d.sim_config(0);
+        cfg.broadcast_time = 6.0;
+        cfg.end_time = 8.0;
+        let n = cfg.n_nodes;
+        let run = |mode: DeliveryMode| {
+            let mut best: Option<(f64, manet::sim::SimReport)> = None;
+            for _ in 0..3 {
+                let mut sim = Simulator::new(cfg.clone(), Flooding::new(n, (0.0, 0.1)));
+                sim.set_delivery_mode(mode);
+                let t0 = std::time::Instant::now();
+                let report = sim.run_to_end();
+                let t = t0.elapsed().as_secs_f64();
+                if best.as_ref().is_none_or(|(b, _)| t < *b) {
+                    best = Some((t, report));
+                }
+            }
+            best.expect("three runs recorded")
+        };
+        let (t_inc, r_inc) = run(DeliveryMode::Incremental);
+        let (t_reb, r_reb) = run(DeliveryMode::HorizonRebuild);
+        assert_eq!(r_inc.broadcast, r_reb.broadcast, "modes must agree");
+        assert_eq!(r_inc.counters, r_reb.counters, "modes must agree");
+        eprintln!(
+            "speedup_rebuild_over_incremental = {:.3} \
+             (incremental {t_inc:.3}s, rebuild {t_reb:.3}s)",
+            t_reb / t_inc
+        );
+        assert!(
+            t_reb >= t_inc,
+            "Incremental regressed below HorizonRebuild again: \
+             incremental {t_inc:.3}s vs rebuild {t_reb:.3}s \
+             (speedup {:.2}x < 1.0)",
+            t_reb / t_inc
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // The scale artifact records peak RSS per row; on Linux the
+        // /proc-based reading must exist, be monotone and be plausibly
+        // sized (this test process certainly uses more than 1 MB).
+        if !cfg!(target_os = "linux") {
+            return;
+        }
+        let a = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(a > 1 << 20, "peak RSS {a} implausibly small");
+        let _ballast = vec![0u8; 8 << 20];
+        let b = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(b >= a, "high-water mark must be monotone");
     }
 
     #[test]

@@ -112,6 +112,14 @@ impl Field {
 /// Triangular-wave fold of `x` into `[0, w]` (reflection at both walls).
 fn fold(x: f64, w: f64) -> f64 {
     debug_assert!(w > 0.0);
+    // Fast path for the overwhelmingly common case of a point already
+    // inside the field: `rem_euclid(2w)` of an `x` in `[0, w]` is exactly
+    // `x` (fmod is exact for in-range operands), so returning it directly
+    // is bit-identical while skipping the division — this sits on the
+    // delivery query's per-candidate path.
+    if (0.0..=w).contains(&x) {
+        return x;
+    }
     let period = 2.0 * w;
     let m = x.rem_euclid(period);
     if m <= w {

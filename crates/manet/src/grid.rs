@@ -230,10 +230,21 @@ impl SpatialGrid {
     /// re-bucketed when it crosses a cell boundary, not when it moves
     /// within its cell). `out` is appended to, unsorted.
     pub fn cells_within(&self, center: Vec2, radius: f64, out: &mut Vec<usize>) {
+        self.for_each_in_cells(center, radius, |i| out.push(i));
+    }
+
+    /// Calls `f(node)` for every node bucketed in a cell overlapping the
+    /// disc of `radius` around `center` — [`cells_within`](Self::cells_within)
+    /// without the intermediate id list, so the delivery query can filter
+    /// candidates as it walks the cell lists instead of materialising and
+    /// re-traversing them. Visit order (cell-major, list order within a
+    /// cell) is identical to `cells_within`.
+    #[inline]
+    pub fn for_each_in_cells<F: FnMut(usize)>(&self, center: Vec2, radius: f64, mut f: F) {
         self.visit_cells(center, radius, |grid, cell| {
             let mut i = grid.heads[cell];
             while i != NONE {
-                out.push(i);
+                f(i);
                 i = grid.next[i];
             }
         });

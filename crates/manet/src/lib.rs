@@ -17,6 +17,9 @@
 //! * [`protocol`] — the [`Protocol`](protocol::Protocol) trait broadcast
 //!   algorithms implement (AEDB lives in the `aedb` crate; a flooding
 //!   baseline ships here),
+//! * [`snapshot`] — flat structure-of-arrays kinematic snapshots of every
+//!   node's current mobility segment, the cache-friendly data the delivery
+//!   query filters candidates against,
 //! * [`sim`] — the simulator proper: beaconing, half-duplex radios,
 //!   collision/capture modelling, timers and metric collection,
 //! * [`metrics`] — per-broadcast metrics (coverage, energy, forwardings,
@@ -36,6 +39,7 @@ pub mod neighbor;
 pub mod protocol;
 pub mod radio;
 pub mod sim;
+pub mod snapshot;
 pub mod trace;
 
 pub use geometry::Vec2;

@@ -13,6 +13,50 @@
 use crate::geometry::{Field, Vec2};
 use rand::Rng;
 
+/// Which closed-form trajectory family a [`KinematicSegment`] belongs to —
+/// the discriminant the SoA snapshot (`manet::snapshot`) branches on
+/// *once per query*, instead of dispatching through `dyn Mobility` per
+/// candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Straight segment folded into the field by mirror reflection
+    /// ([`RandomWalk`]).
+    Walk,
+    /// Linear interpolation towards a destination, parked on arrival
+    /// ([`RandomWaypoint`]).
+    Waypoint,
+    /// No movement ([`Stationary`]).
+    Still,
+}
+
+/// The closed-form description of a node's trajectory between two internal
+/// state changes, exported in flat scalar form so positions can be
+/// evaluated from structure-of-arrays lanes **bit-identically** to the
+/// model's own [`Mobility::position`]:
+///
+/// * [`SegmentKind::Walk`]: `reflect(origin + velocity · max(t − t0, 0))`
+/// * [`SegmentKind::Waypoint`]: `dest` once `t ≥ arrival`, else
+///   `origin + velocity · clamp((t − t0) / (arrival − t0), 0, 1)` with
+///   `velocity = dest − origin` (the *displacement* of the leg, matching
+///   the model's `origin + (dest − origin) · frac` arithmetic exactly)
+/// * [`SegmentKind::Still`][]: `origin`
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KinematicSegment {
+    /// Trajectory family.
+    pub kind: SegmentKind,
+    /// Segment origin (walk/waypoint) or the fixed position (still).
+    pub origin: Vec2,
+    /// Walk: velocity (m/s). Waypoint: leg displacement `dest − origin`.
+    /// Still: zero.
+    pub velocity: Vec2,
+    /// Segment start time (s).
+    pub t0: f64,
+    /// Waypoint: arrival time at `dest`; `+∞` for the other kinds.
+    pub arrival: f64,
+    /// Waypoint: the destination; equals `origin` for the other kinds.
+    pub dest: Vec2,
+}
+
 /// A mobility model: a (possibly stochastic) trajectory for one node.
 pub trait Mobility {
     /// Position at absolute simulation time `t` (seconds). `t` must be
@@ -36,6 +80,14 @@ pub trait Mobility {
     /// early, while reporting `0` suppresses refreshes until the next
     /// mobility change re-anchors the schedule).
     fn speed(&self, t: f64) -> f64;
+
+    /// The closed-form description of the *current* segment, valid until
+    /// the next [`advance`](Mobility::advance). Evaluating the segment per
+    /// [`KinematicSegment`]'s contract must reproduce
+    /// [`position`](Mobility::position) bit-for-bit — the SoA snapshot
+    /// layer (`manet::snapshot`) relies on this to keep every delivery
+    /// path bit-identical.
+    fn segment(&self) -> KinematicSegment;
 }
 
 /// Random-walk mobility (Table II): straight segments with uniform random
@@ -106,6 +158,17 @@ impl Mobility for RandomWalk {
     fn speed(&self, _t: f64) -> f64 {
         // Constant within a segment; reflection preserves magnitude.
         self.velocity.norm()
+    }
+
+    fn segment(&self) -> KinematicSegment {
+        KinematicSegment {
+            kind: SegmentKind::Walk,
+            origin: self.origin,
+            velocity: self.velocity,
+            t0: self.t0,
+            arrival: f64::INFINITY,
+            dest: self.origin,
+        }
     }
 }
 
@@ -206,6 +269,21 @@ impl Mobility for RandomWaypoint {
             0.0
         }
     }
+
+    fn segment(&self) -> KinematicSegment {
+        KinematicSegment {
+            kind: SegmentKind::Waypoint,
+            origin: self.origin,
+            // The leg displacement: the model's position arithmetic is
+            // `origin + (dest − origin) · frac`, and `dest − origin` is a
+            // deterministic subtraction, so precomputing it here preserves
+            // bit-identity.
+            velocity: self.dest - self.origin,
+            t0: self.t0,
+            arrival: self.arrival,
+            dest: self.dest,
+        }
+    }
 }
 
 /// A node that never moves (useful for static-topology tests).
@@ -225,6 +303,16 @@ impl Mobility for Stationary {
     fn advance(&mut self, _rng: &mut dyn rand::RngCore) {}
     fn speed(&self, _t: f64) -> f64 {
         0.0
+    }
+    fn segment(&self) -> KinematicSegment {
+        KinematicSegment {
+            kind: SegmentKind::Still,
+            origin: self.pos,
+            velocity: Vec2::ZERO,
+            t0: 0.0,
+            arrival: f64::INFINITY,
+            dest: self.pos,
+        }
     }
 }
 
@@ -282,6 +370,13 @@ impl Mobility for AnyMobility {
             AnyMobility::Walk(m) => m.speed(t),
             AnyMobility::Waypoint(m) => m.speed(t),
             AnyMobility::Still(m) => m.speed(t),
+        }
+    }
+    fn segment(&self) -> KinematicSegment {
+        match self {
+            AnyMobility::Walk(m) => m.segment(),
+            AnyMobility::Waypoint(m) => m.segment(),
+            AnyMobility::Still(m) => m.segment(),
         }
     }
 }

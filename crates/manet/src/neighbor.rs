@@ -48,21 +48,33 @@ impl NeighborTable {
     }
 
     /// Live entries at time `now`: beacons older than `expiry` are skipped
-    /// (and lazily evicted on the next [`sweep`](Self::sweep)).
+    /// (and lazily evicted on the next [`sweep`](Self::sweep)). Allocates
+    /// a fresh vector per call — hot paths should prefer
+    /// [`live_into`](Self::live_into).
     pub fn live(&self, now: f64, expiry: f64) -> Vec<NeighborEntry> {
-        let mut v: Vec<NeighborEntry> = self
-            .entries
-            .iter()
-            .filter(|(_, &(_, seen))| now - seen <= expiry)
-            .map(|(&id, &(rx_dbm, last_seen))| NeighborEntry {
-                id,
-                rx_dbm,
-                last_seen,
-            })
-            .collect();
-        // Deterministic order regardless of hash-map iteration.
-        v.sort_by_key(|e| e.id);
+        let mut v = Vec::new();
+        self.live_into(now, expiry, &mut v);
         v
+    }
+
+    /// Allocation-free variant of [`live`](Self::live): clears `out` and
+    /// fills it with the live entries in the same deterministic (id-sorted)
+    /// order, reusing its capacity. The protocol hot path calls this once
+    /// per forwarding decision, thousands of times per simulation.
+    pub fn live_into(&self, now: f64, expiry: f64, out: &mut Vec<NeighborEntry>) {
+        out.clear();
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|(_, &(_, seen))| now - seen <= expiry)
+                .map(|(&id, &(rx_dbm, last_seen))| NeighborEntry {
+                    id,
+                    rx_dbm,
+                    last_seen,
+                }),
+        );
+        // Deterministic order regardless of hash-map iteration.
+        out.sort_by_key(|e| e.id);
     }
 
     /// Evicts entries older than `expiry`.

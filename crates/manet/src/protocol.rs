@@ -28,8 +28,20 @@ pub trait ProtocolApi {
     fn transmit(&mut self, node: NodeId, tx_dbm: f64);
 
     /// The live one-hop neighbour table of `node` (beacon-derived,
-    /// age-filtered), sorted by node id.
+    /// age-filtered), sorted by node id. Allocates per call; protocol hot
+    /// paths should prefer [`neighbors_into`](Self::neighbors_into) with a
+    /// reused scratch buffer.
     fn neighbors(&self, node: NodeId) -> Vec<NeighborEntry>;
+
+    /// Fills `out` with the live one-hop neighbour table of `node` (same
+    /// contents and id-sorted order as [`neighbors`](Self::neighbors)),
+    /// clearing it first and reusing its capacity. The simulator overrides
+    /// this to run allocation-free; the default delegates to `neighbors`
+    /// so scripted test harnesses need not implement both.
+    fn neighbors_into(&self, node: NodeId, out: &mut Vec<NeighborEntry>) {
+        out.clear();
+        out.extend(self.neighbors(node));
+    }
 
     /// Default (maximum) transmit power in dBm — Table II: 16.02.
     fn default_tx_dbm(&self) -> f64;

@@ -199,6 +199,16 @@ pub struct RadioConfig {
 /// to the others, shadowed or not.
 pub const SHADOW_TAIL_SIGMAS: f64 = 4.0;
 
+/// Interference is only accumulated from frames arriving within this many
+/// dB *below* the receiver sensitivity — energy fainter than that cannot
+/// tip the capture comparison at simulation precision (the historical
+/// `o_rx >= sensitivity − 10` test in the delivery loop). The optimised
+/// delivery path turns the same floor into a per-transmission *gating
+/// radius* ([`RadioConfig::interference_floor_range`]) so provably
+/// irrelevant interferers are skipped by a squared-distance compare
+/// instead of a `log10`.
+pub const INTERFERENCE_FLOOR_DB: f64 = 10.0;
+
 /// Analytic upper bound on the probability mass clipped by the
 /// [`SHADOW_TAIL_SIGMAS`] truncation: the Mills-ratio bound
 /// `P(Z > t) ≤ φ(t)/t` with `t = SHADOW_TAIL_SIGMAS`.
@@ -285,6 +295,19 @@ impl RadioConfig {
     pub fn max_decode_range(&self, tx_dbm: f64) -> f64 {
         self.path_loss
             .range_for(tx_dbm + self.max_shadow_gain_db(), self.rx_sensitivity_dbm)
+    }
+
+    /// The hard upper bound on the distance at which a frame sent at
+    /// `tx_dbm` can still register above the interference floor
+    /// (`sensitivity − `[`INTERFERENCE_FLOOR_DB`]), including the bounded
+    /// shadowing tail. Beyond this distance a frame's received power is
+    /// provably below the floor, so the delivery loop's interference sum
+    /// is bit-identical whether the frame is evaluated or skipped.
+    pub fn interference_floor_range(&self, tx_dbm: f64) -> f64 {
+        self.path_loss.range_for(
+            tx_dbm + self.max_shadow_gain_db(),
+            self.rx_sensitivity_dbm - INTERFERENCE_FLOOR_DB,
+        )
     }
 }
 

@@ -11,19 +11,35 @@
 //!
 //! Delivery resolution — "who hears this frame?" — is the inner loop of
 //! the whole reproduction (every candidate evaluation simulates 10
-//! networks). Three mechanisms keep it fast:
+//! networks). The mechanisms that keep it fast:
 //!
-//! * a [`SpatialGrid`] over the field (cell = maximum radio range) limits
-//!   each query to the cells overlapping the transmission's range disc.
-//!   The default [`DeliveryMode::Incremental`] discipline keeps the grid
-//!   exact through **event-driven cell transitions**: every node schedules
-//!   a refresh at the earliest time it could cross its current cell
-//!   boundary (`distance-to-edge / segment-speed`), and each refresh moves
-//!   the node between cell lists in O(1). Total maintenance is
-//!   proportional to actual cell crossings — at the paper's 2 m/s and
-//!   ~139 m cells that is orders of magnitude less work than the
-//!   [`DeliveryMode::HorizonRebuild`] baseline, which re-buckets all `n`
-//!   nodes every [`GRID_REBUILD_HORIZON`] seconds.
+//! * a [`SpatialGrid`] over the field (cell = half the maximum radio
+//!   range, see [`GRID_CELL_DIVISOR`]) limits each query to the cells
+//!   overlapping the transmission's range disc. The default
+//!   [`DeliveryMode::Incremental`] discipline keeps the grid exact
+//!   through **event-driven cell transitions**: every node schedules a
+//!   refresh at the earliest time it could cross its current cell
+//!   boundary (`distance-to-edge / segment-speed`), and each refresh
+//!   moves the node between cell lists in O(1). Total maintenance is
+//!   proportional to actual cell crossings — orders of magnitude less
+//!   work than the [`DeliveryMode::HorizonRebuild`] baseline, which
+//!   re-buckets all `n` nodes every [`GRID_REBUILD_HORIZON`] seconds.
+//! * the **SoA kinematic snapshot** ([`crate::snapshot`]): flat per-node
+//!   lanes of every mobility segment (origin, velocity/displacement,
+//!   start, arrival), refreshed in O(1) from the same mobility-change
+//!   events that re-anchor the grid schedule. The incremental delivery
+//!   query walks grid cells *directly* into a filter over these lanes
+//!   (no intermediate id list, no per-candidate `dyn Mobility` dispatch)
+//!   and hands each survivor's exact position and squared distance
+//!   straight to the outcome test, whose arithmetic is bit-identical to
+//!   the historical per-receiver path.
+//! * an **interference gate** derived from deterministic path loss: each
+//!   transmission precomputes the radius beyond which its received power
+//!   is provably below the interference floor
+//!   ([`crate::radio::INTERFERENCE_FLOOR_DB`], shadowing tail included),
+//!   so the snapshot outcome test skips far-away interferers with a
+//!   squared-distance compare instead of a `log10` — the sums are
+//!   unchanged because skipped terms contribute exactly zero.
 //! * the `recent`-transmission log became an O(active-set)
 //!   [`ActiveWindow`]: per-duration lanes pruned as transmissions expire,
 //!   iterated in insertion order so interference sums stay bit-identical
@@ -39,7 +55,14 @@
 //! received-power test, so all three produce **bit-identical**
 //! [`SimReport`]s (asserted by `tests/determinism.rs` and the property
 //! suite); [`Simulator::set_delivery_mode`] keeps the non-default paths
-//! reachable for parity tests and benchmarks.
+//! reachable for parity tests and benchmarks — [`DeliveryMode::Naive`]
+//! and [`DeliveryMode::HorizonRebuild`] deliberately keep their
+//! *historical* code paths (virtual mobility dispatch, ungated
+//! interference loop) so they stay honest baselines for the measured
+//! speedups. [`Simulator::set_query_profiling`] splits query wall time
+//! into candidate-filter vs receive-outcome phases
+//! ([`QueryProfile`]), the breakdown `exp_scale` records per
+//! `BENCH_scale.json` row.
 //!
 //! The simulator is also **reusable**: [`Simulator::reset`] re-arms every
 //! pre-allocated structure (event queue, active window, neighbour tables,
@@ -56,9 +79,11 @@ use crate::mobility::{
 };
 use crate::neighbor::{NeighborEntry, NeighborTable};
 use crate::protocol::{Protocol, ProtocolApi};
-use crate::radio::{dbm_to_mw, RadioConfig};
+use crate::radio::{dbm_to_mw, RadioConfig, INTERFERENCE_FLOOR_DB};
+use crate::snapshot::KinematicSnapshot;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
 
 /// Node identifier: an index in `0..n_nodes`.
 pub type NodeId = usize;
@@ -195,6 +220,14 @@ struct Transmission {
     start: f64,
     end: f64,
     kind: FrameKind,
+    /// Squared interference gating radius: beyond this distance from
+    /// `pos`, this frame's received power is provably below the
+    /// interference floor (`sensitivity − `[`INTERFERENCE_FLOOR_DB`], with
+    /// the bounded shadowing tail and an epsilon inflation against
+    /// floating-point rounding), so the optimised delivery path skips the
+    /// `log10` for it without changing any interference sum. Precomputed
+    /// once per transmission.
+    gate_r2: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -225,6 +258,20 @@ impl FrameKind {
     }
 }
 
+/// Wall-time split of the delivery query, accumulated per
+/// [`compute_deliveries`](World::compute_deliveries) call when profiling
+/// is enabled ([`Simulator::set_query_profiling`]). The two phases are the
+/// ones the query-side perf work optimises independently: candidate
+/// *filtering* (grid walk + position filter + ordering) and the exact
+/// per-receiver *outcome* tests (propagation, half-duplex, capture).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct QueryProfile {
+    /// Seconds spent gathering, filtering and ordering candidates.
+    pub filter_s: f64,
+    /// Seconds spent in exact receive-outcome tests (incl. interference).
+    pub outcome_s: f64,
+}
+
 /// Simulator state visible to protocols through [`ProtocolApi`].
 struct World {
     config: SimConfig,
@@ -240,17 +287,30 @@ struct World {
     broadcast_started: bool,
     /// Spatial index over node positions (see module docs).
     grid: SpatialGrid,
+    /// Flat SoA copy of every node's current mobility segment — the
+    /// cache-friendly lanes the incremental delivery query evaluates
+    /// exact positions from (bit-identical to the `mobility` structs).
+    snapshot: KinematicSnapshot,
     /// Per-node refresh generation; bumped whenever a node's mobility
     /// segment changes so in-flight [`Event::GridRefresh`]s go stale.
     refresh_gen: Vec<u32>,
     /// Live (non-stale) grid-refresh events handled so far.
     refresh_events: u64,
-    /// Scratch: candidate receiver ids from a grid query.
+    /// Scratch: candidate receiver ids from a grid query (historical
+    /// delivery modes).
     candidate_scratch: Vec<usize>,
+    /// Scratch: `(id, exact position, squared distance)` of candidates
+    /// surviving the snapshot filter (incremental mode) — the position
+    /// and distance feed straight into the outcome test.
+    filter_scratch: Vec<(NodeId, Vec2, f64)>,
     /// Scratch: successful deliveries of the current frame.
     delivery_scratch: Vec<(NodeId, f64)>,
     /// Which delivery path resolves receivers (see [`DeliveryMode`]).
     mode: DeliveryMode,
+    /// Whether delivery queries sample wall time into `profile`.
+    profile_on: bool,
+    /// Accumulated query-phase timings (zeroed on reset).
+    profile: QueryProfile,
 }
 
 /// Outcome of the exact per-receiver delivery test.
@@ -264,6 +324,7 @@ enum Reception {
 impl World {
     fn empty(config: SimConfig) -> Self {
         let grid = SpatialGrid::new(config.field, grid_cell(&config.radio, config.field));
+        let snapshot = KinematicSnapshot::new(config.field);
         let metrics = BroadcastMetrics::new(config.source, config.broadcast_time);
         let mut world = World {
             config,
@@ -276,11 +337,15 @@ impl World {
             counters: SimCounters::default(),
             broadcast_started: false,
             grid,
+            snapshot,
             refresh_gen: Vec::new(),
             refresh_events: 0,
             candidate_scratch: Vec::new(),
+            filter_scratch: Vec::new(),
             delivery_scratch: Vec::new(),
             mode: DeliveryMode::default(),
+            profile_on: false,
+            profile: QueryProfile::default(),
         };
         let config = world.config.clone();
         world.reset(config);
@@ -369,17 +434,22 @@ impl World {
         self.counters = SimCounters::default();
         self.broadcast_started = false;
         self.candidate_scratch.clear();
+        self.filter_scratch.clear();
         self.delivery_scratch.clear();
+        self.profile = QueryProfile::default();
         self.config = config;
 
         // Initial placement of the spatial index (the first "rebuild" of
-        // either grid discipline), then one cell-crossing refresh per
-        // node. Refresh *scheduling* is mode-independent — it depends only
-        // on mobility and cell geometry — so every DeliveryMode processes
-        // an identical event stream and parity comparisons are exact.
+        // either grid discipline) and of the SoA kinematic snapshot, then
+        // one cell-crossing refresh per node. Refresh *scheduling* is
+        // mode-independent — it depends only on mobility and cell
+        // geometry — so every DeliveryMode processes an identical event
+        // stream and parity comparisons are exact.
         let n = self.config.n_nodes;
         let mobility = &self.mobility;
         self.grid.rebuild(n, 0.0, |i| mobility[i].position(0.0));
+        self.snapshot
+            .rebuild(self.config.field, mobility.iter().map(|m| m.segment()));
         self.refresh_gen.clear();
         self.refresh_gen.resize(n, 0);
         for node in 0..n {
@@ -425,9 +495,12 @@ impl World {
     }
 
     /// Re-anchors `node`'s refresh schedule after its mobility segment
-    /// changed: stale-marks any in-flight refresh, re-buckets the node at
-    /// its current (exact) position and schedules against the new speed.
+    /// changed: refreshes the node's SoA snapshot lanes in O(1) (every
+    /// mode — the snapshot must always mirror the mobility structs),
+    /// stale-marks any in-flight refresh, re-buckets the node at its
+    /// current (exact) position and schedules against the new speed.
     fn reanchor_grid_refresh(&mut self, node: NodeId) {
+        self.snapshot.set(node, self.mobility[node].segment());
         self.refresh_gen[node] = self.refresh_gen[node].wrapping_add(1);
         if self.mode == DeliveryMode::Incremental {
             let p = self.mobility[node].position(self.queue.now());
@@ -455,13 +528,19 @@ impl World {
             FrameKind::Beacon => self.config.radio.beacon_duration,
             FrameKind::Data => self.config.radio.data_duration,
         };
+        // Amortise the interference gate over every query this frame will
+        // ever appear in: one `range_for` here instead of a `log10` per
+        // (candidate × active frame) in the delivery loop.
+        let gate = self.config.radio.interference_floor_range(tx_dbm) * (1.0 + RANGE_EPSILON)
+            + RANGE_EPSILON;
         let tx = Transmission {
             sender: node,
-            pos: self.position(node, now),
+            pos: self.snapshot.position(node, now),
             tx_dbm,
             start: now,
             end: now + duration,
             kind,
+            gate_r2: gate * gate,
         };
         match kind {
             FrameKind::Beacon => self.counters.beacons_sent += 1,
@@ -507,7 +586,58 @@ impl World {
             }
             let o_rx = pl.rx_dbm(o.tx_dbm, o.pos.distance(rpos))
                 + crate::radio::link_shadowing_db(sigma, seed, o.sender, r);
-            if o_rx >= sens - 10.0 {
+            if o_rx >= sens - INTERFERENCE_FLOOR_DB {
+                // Only energy near the sensitivity floor matters.
+                interference_mw += dbm_to_mw(o_rx);
+            }
+        }
+        if interference_mw > 0.0 && dbm_to_mw(rx_dbm) < capture_ratio * interference_mw {
+            return Reception::Collided;
+        }
+        Reception::Delivered(rx_dbm)
+    }
+
+    /// The same exact delivery test as [`receive_outcome`], but fed by the
+    /// snapshot filter: the receiver's exact position `rpos` and squared
+    /// distance `d2` were already computed from the SoA lanes, and
+    /// interferers outside their precomputed gating radius are skipped
+    /// without the `log10` (they provably sit below the interference
+    /// floor, so the sum is unchanged). Bit-identical to
+    /// [`receive_outcome`] — `d2.sqrt()` reproduces [`Vec2::distance`]'s
+    /// arithmetic exactly, and the SoA lanes reproduce
+    /// [`Mobility::position`] exactly — which the cross-mode parity suites
+    /// pin down.
+    ///
+    /// [`receive_outcome`]: World::receive_outcome
+    fn receive_outcome_at(&self, tx: &Transmission, r: NodeId, rpos: Vec2, d2: f64) -> Reception {
+        let pl = self.config.radio.path_loss;
+        let sens = self.config.radio.rx_sensitivity_dbm;
+        let capture_ratio = dbm_to_mw(self.config.radio.capture_db);
+        let sigma = self.config.radio.shadowing_sigma_db;
+        let seed = self.config.seed;
+        let rx_dbm = pl.rx_dbm(tx.tx_dbm, d2.sqrt())
+            + crate::radio::link_shadowing_db(sigma, seed, tx.sender, r);
+        if rx_dbm < sens {
+            return Reception::OutOfRange;
+        }
+        let mut interference_mw = 0.0;
+        for o in self.active.iter() {
+            if o.start >= tx.end || o.end <= tx.start {
+                continue; // no overlap
+            }
+            if o.sender == tx.sender && o.start == tx.start && o.end == tx.end {
+                continue; // the frame itself (copy in the log)
+            }
+            if o.sender == r {
+                return Reception::HalfDuplex;
+            }
+            let od2 = o.pos.distance_sq(rpos);
+            if od2 > o.gate_r2 {
+                continue; // provably below the interference floor
+            }
+            let o_rx = pl.rx_dbm(o.tx_dbm, od2.sqrt())
+                + crate::radio::link_shadowing_db(sigma, seed, o.sender, r);
+            if o_rx >= sens - INTERFERENCE_FLOOR_DB {
                 // Only energy near the sensitivity floor matters.
                 interference_mw += dbm_to_mw(o_rx);
             }
@@ -546,14 +676,88 @@ impl World {
     /// Successful receivers of `tx` under propagation, half-duplex and
     /// capture rules, appended to `out` as `(node, rx_dbm)` in ascending
     /// node order. The candidate pre-filter depends on the
-    /// [`DeliveryMode`]; the exact per-receiver test is shared, so every
-    /// mode produces identical results.
+    /// [`DeliveryMode`]; the exact per-receiver test is shared arithmetic
+    /// (see [`receive_outcome_at`]), so every mode produces identical
+    /// results.
+    ///
+    /// [`receive_outcome_at`]: World::receive_outcome_at
     fn compute_deliveries(&mut self, tx: &Transmission, out: &mut Vec<(NodeId, f64)>) {
+        let t_start = self.profile_on.then(Instant::now);
         // Transmissions that ended at or before this frame's start can no
         // longer overlap it — nor any future frame, since simulation time
         // is monotone. O(expired), so total prune work is bounded by the
         // number of transmissions.
         self.active.prune(tx.start);
+        if self.mode == DeliveryMode::Incremental {
+            self.compute_deliveries_snapshot(tx, out, t_start);
+        } else {
+            self.compute_deliveries_historical(tx, out, t_start);
+        }
+    }
+
+    /// The optimised delivery query (the default [`DeliveryMode`]):
+    /// iterates the grid cells overlapping the decode disc directly into a
+    /// filter over the SoA kinematic snapshot — no intermediate id list,
+    /// no per-candidate `dyn Mobility` dispatch — and feeds each
+    /// survivor's already-computed exact position and squared distance
+    /// into the fused outcome test. Dropping candidates beyond the decode
+    /// radius cannot change any outcome (they can neither decode nor
+    /// register a loss); the filter predicate is bit-identical to the
+    /// historical `position(t).distance_sq(pos) <= r²` retain.
+    fn compute_deliveries_snapshot(
+        &mut self,
+        tx: &Transmission,
+        out: &mut Vec<(NodeId, f64)>,
+        t_start: Option<Instant>,
+    ) {
+        let mut filtered = std::mem::take(&mut self.filter_scratch);
+        filtered.clear();
+        // Buckets are exact up to the refresh slack; stored positions may
+        // be older than the bucket, so walk whole cells (inflated by the
+        // slack) and filter on *current* exact positions from the lanes.
+        let r = self.decode_radius(tx);
+        let (t, r2) = (tx.end, r * r);
+        {
+            let snap = &self.snapshot;
+            let grid = &self.grid;
+            let center = tx.pos;
+            grid.for_each_in_cells(center, r + GRID_BUCKET_SLACK_M, |i| {
+                let p = snap.position(i, t);
+                let d2 = p.distance_sq(center);
+                if d2 <= r2 {
+                    filtered.push((i, p, d2));
+                }
+            });
+        }
+        // Ascending node order: delivery order feeds protocol callbacks
+        // (and their RNG draws), so every mode must match the naive scan.
+        filtered.sort_unstable_by_key(|&(i, _, _)| i);
+        let t_mid = self.profile_on.then(Instant::now);
+        for &(r, rpos, d2) in &filtered {
+            if r == tx.sender {
+                continue;
+            }
+            let outcome = self.receive_outcome_at(tx, r, rpos, d2);
+            self.record_loss(tx, &outcome);
+            if let Reception::Delivered(rx_dbm) = outcome {
+                out.push((r, rx_dbm));
+            }
+        }
+        self.filter_scratch = filtered;
+        self.record_profile(t_start, t_mid);
+    }
+
+    /// The historical delivery queries, kept verbatim as measured
+    /// baselines: the naive all-nodes scan and the horizon-rebuild grid
+    /// with its staleness margin, both resolving every candidate through
+    /// the original [`receive_outcome`](World::receive_outcome) (virtual
+    /// mobility dispatch, ungated interference loop).
+    fn compute_deliveries_historical(
+        &mut self,
+        tx: &Transmission,
+        out: &mut Vec<(NodeId, f64)>,
+        t_start: Option<Instant>,
+    ) {
         let mut candidates = std::mem::take(&mut self.candidate_scratch);
         candidates.clear();
         match self.mode {
@@ -571,28 +775,14 @@ impl World {
                 let radius = self.decode_radius(tx) + self.max_speed() * staleness;
                 self.grid.candidates_within(tx.pos, radius, &mut candidates);
             }
-            DeliveryMode::Incremental => {
-                // Buckets are exact up to the refresh slack; stored
-                // positions may be older than the bucket, so take whole
-                // cells instead of distance-filtering against them...
-                let radius = self.decode_radius(tx) + GRID_BUCKET_SLACK_M;
-                self.grid.cells_within(tx.pos, radius, &mut candidates);
-                // ...then filter on *current* exact positions: no receiver
-                // beyond the decode radius can decode the frame or register
-                // a loss, so dropping it here cannot change any outcome —
-                // it only skips the path-loss/shadowing arithmetic the
-                // exact test would spend proving OutOfRange.
-                let r = self.decode_radius(tx);
-                let (t, r2) = (tx.end, r * r);
-                let mobility = &self.mobility;
-                candidates.retain(|&i| mobility[i].position(t).distance_sq(tx.pos) <= r2);
-            }
+            DeliveryMode::Incremental => unreachable!("handled by the snapshot path"),
         }
         // Ascending node order: delivery order feeds protocol callbacks
         // (and their RNG draws), so every mode must match the naive scan.
         if self.mode != DeliveryMode::Naive {
             candidates.sort_unstable();
         }
+        let t_mid = self.profile_on.then(Instant::now);
         for &r in &candidates {
             if r == tx.sender {
                 continue;
@@ -604,19 +794,39 @@ impl World {
             }
         }
         self.candidate_scratch = candidates;
+        self.record_profile(t_start, t_mid);
+    }
+
+    /// Folds one query's phase timings into the accumulated profile.
+    fn record_profile(&mut self, t_start: Option<Instant>, t_mid: Option<Instant>) {
+        if let (Some(start), Some(mid)) = (t_start, t_mid) {
+            self.profile.filter_s += (mid - start).as_secs_f64();
+            self.profile.outcome_s += mid.elapsed().as_secs_f64();
+        }
     }
 }
 
-/// Cell edge for the spatial grid: the maximum radio range (default power
-/// at receiver sensitivity), clamped to the field diagonal so degenerate
-/// radio configurations cannot create absurd cell counts.
+/// Cell-size divisor of the spatial grid: cell edge = maximum radio range
+/// / this. Cells of a full radio range (divisor 1, the historical sizing)
+/// overfetch ~2.25× the decode disc's area per query; halving the edge
+/// cuts that to ~1.55× — measurably fewer per-candidate position
+/// evaluations in the snapshot filter — while cell-crossing maintenance
+/// stays negligible (it scales only linearly with the divisor). Measured
+/// on `exp_scale`, 2 is the knee: 3 shaves little more off the filter but
+/// grows the cell walk and the refresh stream.
+const GRID_CELL_DIVISOR: f64 = 2.0;
+
+/// Cell edge for the spatial grid: a [`GRID_CELL_DIVISOR`]-th of the
+/// maximum radio range (default power at receiver sensitivity), clamped
+/// to the field diagonal so degenerate radio configurations cannot create
+/// absurd cell counts.
 fn grid_cell(radio: &RadioConfig, field: Field) -> f64 {
     let range = radio
         .path_loss
         .range_for(radio.default_tx_dbm, radio.rx_sensitivity_dbm);
     let diag = (field.width * field.width + field.height * field.height).sqrt();
     if range.is_finite() && range > 1.0 {
-        range.min(diag)
+        (range / GRID_CELL_DIVISOR).min(diag)
     } else {
         diag
     }
@@ -637,6 +847,10 @@ impl ProtocolApi for World {
 
     fn neighbors(&self, node: NodeId) -> Vec<NeighborEntry> {
         self.tables[node].live(self.queue.now(), self.config.neighbor_expiry)
+    }
+
+    fn neighbors_into(&self, node: NodeId, out: &mut Vec<NeighborEntry>) {
+        self.tables[node].live_into(self.queue.now(), self.config.neighbor_expiry, out);
     }
 
     fn default_tx_dbm(&self) -> f64 {
@@ -725,6 +939,27 @@ impl<P: Protocol> Simulator<P> {
     /// Live (non-stale) grid-refresh events handled since the last reset.
     pub fn grid_refresh_events(&self) -> u64 {
         self.world.refresh_events
+    }
+
+    /// Cell edge (m) of the spatial delivery grid — exposed so tests can
+    /// construct node placements exactly on cell boundaries.
+    pub fn grid_cell_size(&self) -> f64 {
+        self.world.grid.cell_size()
+    }
+
+    /// Enables/disables wall-time profiling of the delivery query (off by
+    /// default — the two extra `Instant::now` samples per query are only
+    /// taken when enabled, so unprofiled runs pay nothing). The setting
+    /// survives [`reset`](Self::reset); the accumulators do not.
+    pub fn set_query_profiling(&mut self, on: bool) {
+        self.world.profile_on = on;
+    }
+
+    /// The accumulated candidate-filter / receive-outcome wall-time split
+    /// since the last reset (all zeros unless
+    /// [`set_query_profiling`](Self::set_query_profiling) is on).
+    pub fn query_profile(&self) -> QueryProfile {
+        self.world.profile
     }
 
     /// Runs the simulation to `end_time` and returns the report.
@@ -1047,6 +1282,82 @@ mod tests {
             "incremental maintenance must be >= 5x cheaper at 10⁴ nodes: \
              rebuild {reb_ops} ops vs incremental {inc_ops} ops"
         );
+    }
+
+    #[test]
+    fn snapshot_lanes_reanchor_when_advance_fires_mid_transmission() {
+        // A mobility segment change lands strictly between a data frame's
+        // start (30.0 s) and its end (31.0 s): the snapshot lanes must be
+        // re-anchored by the MobilityChange event so the delivery query at
+        // tx.end filters against the *new* segment — bit-identically to
+        // the mobility structs — and all modes must stay in lockstep.
+        let mut c = SimConfig::paper(40, 21);
+        c.mobility = MobilityModel::RandomWalk {
+            change_interval: 30.5, // fires once, mid-transmission
+        };
+        c.radio.data_duration = 1.0;
+        let n = c.n_nodes;
+        let mut sim = Simulator::new(c.clone(), Flooding::new(n, (0.0, 0.0)));
+        sim.run_until(30.7); // past the change, before the frame ends
+        let w = &sim.world;
+        for i in 0..n {
+            let seg = w.mobility[i].segment();
+            assert_eq!(seg.t0, 30.5, "segment must have re-anchored");
+            assert_eq!(
+                w.snapshot.segment(i),
+                seg,
+                "snapshot lanes of node {i} must mirror the mobility struct"
+            );
+            let t = w.queue.now();
+            assert_eq!(w.snapshot.position(i, t), w.mobility[i].position(t));
+        }
+        sim.run_until(c.end_time);
+        let inc = SimReport {
+            broadcast: sim.world.metrics.clone(),
+            counters: sim.world.counters.clone(),
+            n_nodes: n,
+        };
+        let reb = run_mode_jitterless(DeliveryMode::HorizonRebuild, c.clone());
+        let naive = run_mode_jitterless(DeliveryMode::Naive, c);
+        assert_eq!(inc.broadcast, reb.broadcast);
+        assert_eq!(inc.counters, reb.counters);
+        assert_eq!(inc.broadcast, naive.broadcast);
+        assert_eq!(inc.counters, naive.counters);
+    }
+
+    /// Like [`run_mode`] but with zero forwarding jitter, so data-frame
+    /// timings are fully determined by the radio constants (the exact
+    /// alignment the segment-boundary tests need).
+    fn run_mode_jitterless(mode: DeliveryMode, c: SimConfig) -> SimReport {
+        let n = c.n_nodes;
+        let mut sim = Simulator::new(c, Flooding::new(n, (0.0, 0.0)));
+        sim.set_delivery_mode(mode);
+        sim.run_to_end()
+    }
+
+    #[test]
+    fn segment_change_exactly_at_query_time_stays_in_parity() {
+        // data_duration == change_interval == 2.0 with zero forwarding
+        // jitter makes every data frame end *exactly* on a mobility
+        // re-draw instant (30.0 + k·2.0): the delivery query samples
+        // receiver positions at the precise boundary between two
+        // segments, in whatever event order the queue resolves the tie —
+        // the sharpest case for the snapshot lanes. All modes must agree
+        // bit-for-bit.
+        for seed in [2u64, 13, 77] {
+            let mut c = SimConfig::paper(50, seed);
+            c.mobility = MobilityModel::RandomWalk {
+                change_interval: 2.0,
+            };
+            c.radio.data_duration = 2.0;
+            let inc = run_mode_jitterless(DeliveryMode::Incremental, c.clone());
+            let reb = run_mode_jitterless(DeliveryMode::HorizonRebuild, c.clone());
+            let naive = run_mode_jitterless(DeliveryMode::Naive, c);
+            assert_eq!(inc.broadcast, reb.broadcast, "seed {seed}");
+            assert_eq!(inc.counters, reb.counters, "seed {seed}");
+            assert_eq!(inc.broadcast, naive.broadcast, "seed {seed}");
+            assert_eq!(inc.counters, naive.counters, "seed {seed}");
+        }
     }
 
     #[test]

@@ -244,4 +244,84 @@ proptest! {
         prop_assert_eq!(&inc.broadcast, &naive.broadcast);
         prop_assert_eq!(&inc.counters, &naive.counters);
     }
+
+    #[test]
+    fn delivery_modes_agree_with_nodes_on_cell_boundaries(
+        seed in 0u64..10_000,
+        cols in 2usize..5,
+        rows in 2usize..5,
+        moving in 0usize..2,
+    ) {
+        // Nodes placed *exactly* on grid-cell boundary multiples (corners
+        // and edges of the spatial index's cells): the bucketing of a
+        // boundary coordinate and the snapshot filter at the exact decode
+        // radius are the fenceposts the SoA query must get right. Both a
+        // frozen lattice and a lattice that immediately walks off its
+        // boundaries must keep all three delivery paths bit-identical.
+        let mut probe = SimConfig::paper(1, 0);
+        probe.mobility = manet::mobility::MobilityModel::Stationary;
+        let cell = Simulator::new(probe, SourceOnly).grid_cell_size();
+        let mut c = SimConfig::paper(cols * rows, seed);
+        c.mobility = if moving == 1 {
+            manet::mobility::MobilityModel::RandomWalk { change_interval: 5.0 }
+        } else {
+            manet::mobility::MobilityModel::Stationary
+        };
+        c.broadcast_time = 3.0;
+        c.end_time = 6.0;
+        let pts: Vec<manet::geometry::Vec2> = (0..rows)
+            .flat_map(|r| {
+                (0..cols).map(move |q| {
+                    manet::geometry::Vec2::new(q as f64 * cell, r as f64 * cell)
+                })
+            })
+            .collect();
+        prop_assume!(pts.iter().all(|p| c.field.contains(*p)));
+        c.placement = manet::sim::Placement::Explicit(pts);
+        let n = c.n_nodes;
+        let run = |mode: DeliveryMode| {
+            let mut sim = Simulator::new(c.clone(), Flooding::new(n, (0.0, 0.1)));
+            sim.set_delivery_mode(mode);
+            sim.run_to_end()
+        };
+        let inc = run(DeliveryMode::Incremental);
+        let reb = run(DeliveryMode::HorizonRebuild);
+        let naive = run(DeliveryMode::Naive);
+        prop_assert_eq!(&inc.broadcast, &reb.broadcast);
+        prop_assert_eq!(&inc.counters, &reb.counters);
+        prop_assert_eq!(&inc.broadcast, &naive.broadcast);
+        prop_assert_eq!(&inc.counters, &naive.counters);
+    }
+
+    #[test]
+    fn delivery_modes_agree_when_segments_change_at_query_time(
+        seed in 0u64..10_000,
+        ci_idx in 0usize..3,
+        n in 10usize..30,
+    ) {
+        // Frame-end times aligned *exactly* with mobility re-draw
+        // instants: data_duration == change_interval (both exact binary
+        // fractions) and zero forwarding jitter put every data-frame
+        // delivery query at the precise boundary between two kinematic
+        // segments — the event-order tie the snapshot lanes must resolve
+        // identically to the mobility structs in every delivery mode.
+        let ci = [0.5, 1.0, 2.0][ci_idx];
+        let mut c = SimConfig::paper(n, seed);
+        c.mobility = manet::mobility::MobilityModel::RandomWalk { change_interval: ci };
+        c.radio.data_duration = ci;
+        c.broadcast_time = 3.0;
+        c.end_time = 7.0;
+        let run = |mode: DeliveryMode| {
+            let mut sim = Simulator::new(c.clone(), Flooding::new(n, (0.0, 0.0)));
+            sim.set_delivery_mode(mode);
+            sim.run_to_end()
+        };
+        let inc = run(DeliveryMode::Incremental);
+        let reb = run(DeliveryMode::HorizonRebuild);
+        let naive = run(DeliveryMode::Naive);
+        prop_assert_eq!(&inc.broadcast, &reb.broadcast);
+        prop_assert_eq!(&inc.counters, &reb.counters);
+        prop_assert_eq!(&inc.broadcast, &naive.broadcast);
+        prop_assert_eq!(&inc.counters, &naive.counters);
+    }
 }

@@ -4,11 +4,15 @@
 //! (the historical baseline) and the naive O(n²) scan — plus a batched
 //! AEDB evaluation posed directly on a dense scenario.
 //!
-//! Emits **`BENCH_scale.json`** (schema `bench-scale-v2`) so the perf
-//! trajectory stays machine-readable across PRs: per row, wall time per
-//! delivery mode, the candidate-filter vs receive-outcome split of the
-//! query (from [`Simulator::query_profile`]) and the process's peak RSS
-//! high-water mark when the row finished.
+//! Emits **`BENCH_scale.json`** (schema `bench-scale-v3`, documented in
+//! [`bench_harness::scale`]) so the perf trajectory stays machine-readable
+//! across PRs: per row, wall time per delivery mode, the candidate-filter
+//! vs receive-outcome split of the query (from
+//! [`Simulator::query_profile`]) plus the interference-phase share of the
+//! incremental outcome, and the process's peak RSS high-water mark when
+//! the row finished. CI's perf-regression gate
+//! (`scripts/check_bench_regression.py`) compares the speedup columns of a
+//! fresh smoke run against the committed floors.
 //!
 //! Flags: `--dense 500@200,2000@200@4,10000@400` selects scenarios
 //! (`nodes@density[@shadowing_db]`), `--paper` runs all presets including
@@ -34,6 +38,9 @@ struct ModeRun {
     filter_s: f64,
     /// Exact receive-outcome seconds (profiled).
     outcome_s: f64,
+    /// Interference-resolution share of `outcome_s` (incremental only;
+    /// the historical paths keep their verbatim single-loop shape).
+    interference_s: f64,
 }
 
 fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
@@ -56,6 +63,7 @@ fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
         bucket_ops: sim.grid_stats().bucket_ops,
         filter_s: profile.filter_s,
         outcome_s: profile.outcome_s,
+        interference_s: profile.interference_s,
     }
 }
 
@@ -80,7 +88,7 @@ fn main() {
         "scenario",
         "field (m)",
         "incremental (s)",
-        "filter/outcome (s)",
+        "filter/outcome/intf (s)",
         "rebuild (s)",
         "naive (s)",
         "inc/reb ops",
@@ -100,7 +108,12 @@ fn main() {
             d.to_string(),
             f(d.field().width, 0),
             f(inc.seconds, 3),
-            format!("{}/{}", f(inc.filter_s, 3), f(inc.outcome_s, 3)),
+            format!(
+                "{}/{}/{}",
+                f(inc.filter_s, 3),
+                f(inc.outcome_s, 3),
+                f(inc.interference_s, 3)
+            ),
             f(reb.seconds, 3),
             naive.as_ref().map_or("-".into(), |n| f(n.seconds, 3)),
             format!("{}/{}", inc.bucket_ops, reb.bucket_ops),
@@ -112,6 +125,7 @@ fn main() {
                 "\"beacons_per_sec\": {}, \"coverage\": {},\n",
                 "     \"incremental_s\": {}, \"rebuild_s\": {}, \"naive_s\": {},\n",
                 "     \"incremental_filter_s\": {}, \"incremental_outcome_s\": {},\n",
+                "     \"incremental_interference_s\": {},\n",
                 "     \"rebuild_filter_s\": {}, \"rebuild_outcome_s\": {},\n",
                 "     \"incremental_bucket_ops\": {}, \"rebuild_bucket_ops\": {},\n",
                 "     \"peak_rss_bytes\": {},\n",
@@ -130,6 +144,7 @@ fn main() {
                 .map_or("null".into(), |n| json_num(n.seconds)),
             json_num(inc.filter_s),
             json_num(inc.outcome_s),
+            json_num(inc.interference_s),
             json_num(reb.filter_s),
             json_num(reb.outcome_s),
             inc.bucket_ops,
@@ -181,7 +196,7 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"bench-scale-v2\",\n  \"scenarios\": [\n{}\n  ],\n{batch_json}\n}}\n",
+        "{{\n  \"schema\": \"bench-scale-v3\",\n  \"scenarios\": [\n{}\n  ],\n{batch_json}\n}}\n",
         json_scenarios.join(",\n")
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");

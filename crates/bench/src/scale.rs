@@ -2,6 +2,30 @@
 //! flags shared by all `exp_*` binaries — plus the beyond-paper
 //! [`DenseScenario`]s (hundreds of nodes) that the simulator's spatial
 //! grid makes tractable.
+//!
+//! # The `bench-scale-v3` artifact schema
+//!
+//! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v3"`
+//! so the performance trajectory stays machine-readable across PRs (and so
+//! CI can fail on regressions — see `scripts/check_bench_regression.py`).
+//! Per scenario row:
+//!
+//! | field | meaning |
+//! |---|---|
+//! | `nodes`, `per_km2`, `shadowing_sigma_db` | the [`DenseScenario`] |
+//! | `beacons_per_sec`, `coverage` | workload sanity numbers (identical across modes, asserted in-run) |
+//! | `incremental_s`, `rebuild_s`, `naive_s` | end-to-end wall time per delivery mode (`naive_s` is `null` above the naive cap) |
+//! | `incremental_filter_s`, `incremental_outcome_s` | candidate-filter vs receive-outcome split of the incremental query (`Simulator::query_profile`) |
+//! | `incremental_interference_s` | **new in v3**: interference+capture share of `incremental_outcome_s` (the phase the spatialised active window optimises; always ≤ the outcome time) |
+//! | `rebuild_filter_s`, `rebuild_outcome_s` | the same split for the horizon-rebuild baseline, whose verbatim single-loop shape has no finer split |
+//! | `incremental_bucket_ops`, `rebuild_bucket_ops` | grid-maintenance linked-list writes per mode |
+//! | `peak_rss_bytes` | process peak RSS high-water mark when the row finished ([`peak_rss_bytes`]) |
+//! | `speedup_rebuild_over_incremental`, `speedup_naive_over_incremental` | the headline ratios CI's perf gate checks against committed floors |
+//!
+//! The trailing `batched_eval` object records one batched AEDB evaluation
+//! posed directly on the first dense scenario. v2 → v3 added
+//! `incremental_interference_s` and the regression-gate contract; v1 → v2
+//! added the filter/outcome split and `peak_rss_bytes`.
 
 use aedb::scenario::Density;
 
@@ -136,25 +160,33 @@ fn expect_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> u64 {
 
 /// Parses one `--dense` component: `nodes@density` with an optional
 /// `@shadowing_db` tail (e.g. `2000@200@4` = 2000 nodes at 200 dev/km²
-/// under 4 dB log-normal shadowing).
+/// under 4 dB log-normal shadowing). Malformed specs — wrong component
+/// count (a trailing `@` included), empty or non-numeric components — are
+/// rejected with a usage error instead of being silently part-parsed.
 fn parse_dense_spec(spec: &str) -> DenseScenario {
-    let mut parts = spec.trim().split('@');
-    let nodes = parts
-        .next()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or_else(|| panic!("--dense wants nodes@density[@sigma], got {spec}"));
-    let density = parts
-        .next()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or_else(|| panic!("--dense wants nodes@density[@sigma], got {spec}"));
+    let usage = |detail: &str| -> ! {
+        panic!("--dense wants nodes@density[@sigma], got {spec:?}: {detail}")
+    };
+    let parts: Vec<&str> = spec.trim().split('@').collect();
+    if !(2..=3).contains(&parts.len()) {
+        usage("expected 2 or 3 @-separated components");
+    }
+    let nodes: usize = parts[0]
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| usage("bad node count"));
+    let density: u32 = parts[1]
+        .trim()
+        .parse()
+        .unwrap_or_else(|_| usage("bad density"));
     let d = DenseScenario::new(density, nodes);
-    match parts.next() {
+    match parts.get(2) {
         None => d,
         Some(sigma) => d.with_shadowing(
             sigma
                 .trim()
                 .parse()
-                .unwrap_or_else(|_| panic!("bad shadowing sigma {sigma}")),
+                .unwrap_or_else(|_| usage("bad shadowing sigma")),
         ),
     }
 }
@@ -238,6 +270,37 @@ mod tests {
         assert_eq!(s.dense[0].shadowing_sigma_db, 0.0);
         assert_eq!(s.dense[1].n_nodes, 800);
         assert_eq!(s.dense[1].per_km2, 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 or 3 @-separated components")]
+    fn dense_flag_rejects_trailing_at() {
+        // the historical parser silently ignored the empty 4th component
+        let _ = parse(&["--dense", "2000@200@4@"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 or 3 @-separated components")]
+    fn dense_flag_rejects_extra_components() {
+        let _ = parse(&["--dense", "2000@200@4@9"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad density")]
+    fn dense_flag_rejects_empty_density() {
+        let _ = parse(&["--dense", "2000@"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad node count")]
+    fn dense_flag_rejects_non_numeric_nodes() {
+        let _ = parse(&["--dense", "many@200"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad shadowing sigma")]
+    fn dense_flag_rejects_bad_sigma() {
+        let _ = parse(&["--dense", "2000@200@x"]);
     }
 
     #[test]
@@ -334,8 +397,14 @@ mod tests {
              (incremental {t_inc:.3}s, rebuild {t_reb:.3}s)",
             t_reb / t_inc
         );
+        // The hard wall-clock floor only holds reliably under the release
+        // profile; in debug builds (CI's `test` job, contended runners,
+        // debug_asserts on the hot path) it would be a timing flake. The
+        // release-profile claim is enforced every CI run by the
+        // bench-smoke perf gate (scripts/check_bench_regression.py) with
+        // an explicit tolerance — parity above stays asserted everywhere.
         assert!(
-            t_reb >= t_inc,
+            cfg!(debug_assertions) || t_reb >= t_inc,
             "Incremental regressed below HorizonRebuild again: \
              incremental {t_inc:.3}s vs rebuild {t_reb:.3}s \
              (speedup {:.2}x < 1.0)",

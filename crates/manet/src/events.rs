@@ -5,8 +5,11 @@
 //! property the paper's evaluation protocol depends on (the same 10
 //! networks must evaluate every candidate configuration identically).
 
+use crate::geometry::Vec2;
+use crate::grid::CellGeometry;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// A scheduled event.
 #[derive(Debug, Clone)]
@@ -143,6 +146,201 @@ pub struct ActiveWindow<T> {
     /// Per-lane `(seq, end_time, payload)`, end-monotone within a lane.
     lanes: Vec<std::collections::VecDeque<(u64, f64, T)>>,
     seq: u64,
+}
+
+/// The **spatialised** active window: in-flight transmissions bucketed by
+/// grid cell, so a delivery query only touches the frames *near* its
+/// receivers instead of the whole active set — O(nearby frames) per query
+/// where the flat [`ActiveWindow`] is O(active set) per receiver.
+///
+/// The structure is the product of two decompositions:
+///
+/// * **cells** ([`CellGeometry`], typically sized to the interference
+///   gating reach) bound which frames can physically matter to a receiver:
+///   a frame bucketed in a cell farther from the receiver than the query
+///   radius is provably outside its own gating radius, so skipping it
+///   cannot change any interference sum;
+/// * **lanes** (one per on-air duration class, exactly as in the flat
+///   window) keep expiry a pure front-pop: within one `(cell, lane)`
+///   bucket, insertion order is expiry order.
+///
+/// Pruning stays O(dropped) across all buckets through one per-lane
+/// *order queue* recording which bucket received each insertion: the front
+/// of lane `l`'s order queue always names the bucket holding lane `l`'s
+/// globally-oldest entry, so expiry pops pairs of queue fronts without
+/// scanning cells.
+///
+/// Every entry carries the global insertion sequence number. A gather over
+/// the cells of a query disc returns `(seq, item)` pairs; sorting them by
+/// `seq` replays the exact insertion order of the flat window, which is
+/// what keeps interference sums (accumulated in iteration order)
+/// **bit-identical** to the historical scan — asserted by the unit tests
+/// here and the random-trace proptest in the property suite.
+#[derive(Debug, Clone)]
+pub struct SpatialActiveWindow<T> {
+    geom: CellGeometry,
+    lanes: usize,
+    /// Per `(cell × lanes + lane)` FIFO of `(seq, end, pos, item)`.
+    buckets: Vec<VecDeque<(u64, f64, Vec2, T)>>,
+    /// Per lane: FIFO of bucket indices, parallel to the lane's global
+    /// insertion order (the expiry cursor described above).
+    order: Vec<VecDeque<u32>>,
+    seq: u64,
+    live: usize,
+}
+
+impl<T> SpatialActiveWindow<T> {
+    /// Creates a window over `geom` with `lanes` duration classes.
+    pub fn new(geom: CellGeometry, lanes: usize) -> Self {
+        assert!(lanes >= 1);
+        let n = geom
+            .n_cells()
+            .checked_mul(lanes)
+            .expect("cell × lane count overflow");
+        assert!(n < u32::MAX as usize, "bucket index must fit in u32");
+        Self {
+            geom,
+            lanes,
+            buckets: (0..n).map(|_| VecDeque::new()).collect(),
+            order: (0..lanes).map(|_| VecDeque::new()).collect(),
+            seq: 0,
+            live: 0,
+        }
+    }
+
+    /// The window's cell decomposition.
+    pub fn geometry(&self) -> CellGeometry {
+        self.geom
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Empties the window, retaining bucket allocations.
+    pub fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        for o in &mut self.order {
+            o.clear();
+        }
+        self.seq = 0;
+        self.live = 0;
+    }
+
+    /// Inserts `item`, transmitted from `pos` and expiring at `end`, into
+    /// `lane`. As with the flat window, entries of one lane must arrive
+    /// with non-decreasing `end` (same duration class + monotone simulation
+    /// time guarantees this).
+    pub fn insert(&mut self, lane: usize, end: f64, pos: Vec2, item: T) {
+        let bucket = self.geom.cell_of(pos) * self.lanes + lane;
+        debug_assert!(
+            self.order[lane]
+                .back()
+                .map(|&b| self.buckets[b as usize].back().expect("order desync").1)
+                .is_none_or(|prev| prev <= end),
+            "lane {lane} end times must be non-decreasing"
+        );
+        self.buckets[bucket].push_back((self.seq, end, pos, item));
+        self.order[lane].push_back(bucket as u32);
+        self.seq += 1;
+        self.live += 1;
+    }
+
+    /// Drops every entry with `end <= threshold` — O(dropped), so the
+    /// total prune work over a run is bounded by the number of insertions.
+    pub fn prune(&mut self, threshold: f64) {
+        for lane in 0..self.lanes {
+            while let Some(&bucket) = self.order[lane].front() {
+                let front = self.buckets[bucket as usize]
+                    .front()
+                    .expect("order queue names an empty bucket");
+                if front.1 > threshold {
+                    break;
+                }
+                self.buckets[bucket as usize].pop_front();
+                self.order[lane].pop_front();
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// Re-bins every live entry into a new cell decomposition, preserving
+    /// sequence numbers (and therefore the global insertion order) — the
+    /// *migration* path taken when the window's geometry changes while
+    /// frames are still in flight (e.g. a reconfiguration to a different
+    /// field or gating reach).
+    pub fn reset_geometry(&mut self, geom: CellGeometry) {
+        let lanes = self.lanes;
+        let n = geom
+            .n_cells()
+            .checked_mul(lanes)
+            .expect("cell × lane count overflow");
+        assert!(n < u32::MAX as usize, "bucket index must fit in u32");
+        // Recover each entry's lane from its old bucket index, then
+        // re-insert in seq order, which restores both the per-bucket FIFO
+        // (= expiry order) and the per-lane order queues.
+        let mut entries: Vec<(usize, (u64, f64, Vec2, T))> = Vec::with_capacity(self.live);
+        for (b, bucket) in self.buckets.iter_mut().enumerate() {
+            let lane = b % lanes;
+            entries.extend(bucket.drain(..).map(|e| (lane, e)));
+        }
+        entries.sort_unstable_by_key(|&(_, (seq, _, _, _))| seq);
+        self.geom = geom;
+        self.buckets.truncate(n);
+        while self.buckets.len() < n {
+            self.buckets.push(VecDeque::new());
+        }
+        for o in &mut self.order {
+            o.clear();
+        }
+        for (lane, (seq, end, pos, item)) in entries {
+            let bucket = geom.cell_of(pos) * lanes + lane;
+            self.buckets[bucket].push_back((seq, end, pos, item));
+            self.order[lane].push_back(bucket as u32);
+        }
+    }
+
+    /// Appends `(seq, item)` for every live entry bucketed in a cell
+    /// overlapping the disc of `radius` around `center`. Unsorted — sort by
+    /// `seq` to replay global insertion order. Conservative in the same
+    /// sense as the node grid: the caller still applies its exact per-frame
+    /// tests, so visiting extra cells can never change an outcome.
+    pub fn gather_into(&self, center: Vec2, radius: f64, out: &mut Vec<(u64, T)>)
+    where
+        T: Copy,
+    {
+        self.geom.for_each_cell_in_disc(center, radius, |cell| {
+            for bucket in &self.buckets[cell * self.lanes..(cell + 1) * self.lanes] {
+                for &(seq, _, _, item) in bucket {
+                    out.push((seq, item));
+                }
+            }
+        });
+    }
+
+    /// Every live entry as `(seq, end, pos, item)` in global insertion
+    /// order — the reference view the parity tests compare against the
+    /// flat window.
+    pub fn entries_in_order(&self) -> Vec<(u64, f64, Vec2, T)>
+    where
+        T: Copy,
+    {
+        let mut v: Vec<(u64, f64, Vec2, T)> = self
+            .buckets
+            .iter()
+            .flat_map(|b| b.iter().copied())
+            .collect();
+        v.sort_unstable_by_key(|&(seq, _, _, _)| seq);
+        v
+    }
 }
 
 impl<T> ActiveWindow<T> {
@@ -375,6 +573,101 @@ mod tests {
         w.insert(0, 1.0, 9);
         w.clear();
         assert!(w.iter().next().is_none());
+    }
+
+    fn test_geom(side: f64, cell: f64) -> CellGeometry {
+        CellGeometry::new(crate::geometry::Field::new(side, side), cell)
+    }
+
+    #[test]
+    fn spatial_window_inserts_bucket_by_cell_and_gathers_nearby() {
+        // 300 m field, 100 m cells (3×3). Entries land in the bucket of
+        // their position; a gather only sees cells overlapping its disc.
+        let mut w: SpatialActiveWindow<u32> = SpatialActiveWindow::new(test_geom(300.0, 100.0), 2);
+        w.insert(0, 1.0, Vec2::new(50.0, 50.0), 1); // cell (0,0)
+        w.insert(1, 5.0, Vec2::new(250.0, 50.0), 2); // cell (2,0)
+        w.insert(0, 1.5, Vec2::new(50.0, 250.0), 3); // cell (0,2)
+        assert_eq!(w.len(), 3);
+        let mut got = Vec::new();
+        w.gather_into(Vec2::new(40.0, 40.0), 30.0, &mut got);
+        assert_eq!(got, vec![(0, 1)], "only the near corner is visited");
+        got.clear();
+        // a disc covering the whole field sees everything, in any order
+        w.gather_into(Vec2::new(150.0, 150.0), 500.0, &mut got);
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn spatial_window_prunes_across_buckets_in_o_dropped() {
+        // Same stall case as the flat window, but with the short frames
+        // scattered over different cells: a long data frame in one bucket
+        // must not shield expired beacons in other buckets.
+        let mut w: SpatialActiveWindow<u32> = SpatialActiveWindow::new(test_geom(300.0, 100.0), 2);
+        w.insert(1, 100.0, Vec2::new(150.0, 150.0), 1); // long data frame
+        w.insert(0, 2.0, Vec2::new(10.0, 10.0), 2);
+        w.insert(0, 3.0, Vec2::new(290.0, 10.0), 3);
+        w.insert(0, 50.0, Vec2::new(10.0, 290.0), 4);
+        w.prune(3.0);
+        let live: Vec<u32> = w.entries_in_order().iter().map(|&(_, _, _, v)| v).collect();
+        assert_eq!(live, vec![1, 4]);
+        assert_eq!(w.len(), 2);
+        w.prune(100.0);
+        assert!(w.is_empty());
+        // clear resets the sequence counter
+        w.insert(0, 1.0, Vec2::new(5.0, 5.0), 9);
+        w.clear();
+        assert!(w.is_empty());
+        w.insert(0, 1.0, Vec2::new(5.0, 5.0), 10);
+        assert_eq!(w.entries_in_order()[0].0, 0, "seq restarts after clear");
+    }
+
+    #[test]
+    fn spatial_window_gather_replays_insertion_order_after_sort() {
+        // Entries interleaved across lanes and cells: sorting a gather by
+        // seq must reproduce the flat window's global insertion order.
+        let mut flat: ActiveWindow<u32> = ActiveWindow::new(2);
+        let mut spatial: SpatialActiveWindow<u32> =
+            SpatialActiveWindow::new(test_geom(300.0, 100.0), 2);
+        let pts = [
+            (1usize, 10.0, 150.0, 150.0, 1u32),
+            (0, 2.0, 10.0, 10.0, 2),
+            (0, 2.5, 290.0, 290.0, 3),
+            (1, 11.0, 10.0, 290.0, 4),
+            (0, 3.0, 150.0, 10.0, 5),
+        ];
+        for &(lane, end, x, y, v) in &pts {
+            flat.insert(lane, end, v);
+            spatial.insert(lane, end, Vec2::new(x, y), v);
+        }
+        let mut got = Vec::new();
+        spatial.gather_into(Vec2::new(150.0, 150.0), 1000.0, &mut got);
+        got.sort_unstable_by_key(|&(seq, _)| seq);
+        let flat_order: Vec<u32> = flat.iter().copied().collect();
+        let spatial_order: Vec<u32> = got.iter().map(|&(_, v)| v).collect();
+        assert_eq!(spatial_order, flat_order);
+    }
+
+    #[test]
+    fn spatial_window_migrates_entries_to_new_geometry() {
+        // Rebinning live entries into a different cell decomposition keeps
+        // every entry, its sequence number and its expiry behaviour.
+        let mut w: SpatialActiveWindow<u32> = SpatialActiveWindow::new(test_geom(300.0, 100.0), 2);
+        w.insert(1, 10.0, Vec2::new(150.0, 150.0), 1);
+        w.insert(0, 2.0, Vec2::new(10.0, 10.0), 2);
+        w.insert(0, 4.0, Vec2::new(290.0, 290.0), 3);
+        let before = w.entries_in_order();
+        w.reset_geometry(test_geom(300.0, 40.0)); // 8×8 cells
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.entries_in_order(), before, "migration preserves entries");
+        // gathers respect the new, finer cells
+        let mut got = Vec::new();
+        w.gather_into(Vec2::new(10.0, 10.0), 15.0, &mut got);
+        assert_eq!(got, vec![(1, 2)]);
+        // expiry still works through the rebuilt order queues
+        w.prune(2.0);
+        let live: Vec<u32> = w.entries_in_order().iter().map(|&(_, _, _, v)| v).collect();
+        assert_eq!(live, vec![1, 3]);
     }
 
     #[test]

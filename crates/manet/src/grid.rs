@@ -41,6 +41,92 @@
 
 use crate::geometry::{Field, Vec2};
 
+/// The uniform cell decomposition of a [`Field`]: edge length plus the
+/// column/row counts it induces. Shared by the node-position
+/// [`SpatialGrid`] and the spatialised in-flight-frame window
+/// ([`crate::events::SpatialActiveWindow`]), which bucket different things
+/// (nodes vs transmissions) over the same kind of geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellGeometry {
+    /// Cell edge length (m).
+    cell: f64,
+    /// Number of cell columns.
+    cols: usize,
+    /// Number of cell rows.
+    rows: usize,
+}
+
+impl CellGeometry {
+    /// Decomposes `field` into square cells of the given edge (m).
+    pub fn new(field: Field, cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "cell edge must be positive");
+        Self {
+            cell,
+            cols: (field.width / cell).ceil().max(1.0) as usize,
+            rows: (field.height / cell).ceil().max(1.0) as usize,
+        }
+    }
+
+    /// Cell edge length (m).
+    pub fn cell_size(&self) -> f64 {
+        self.cell
+    }
+
+    /// Total number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Index of the cell containing `p`. Positions are expected inside the
+    /// field; boundary values (x == width) clamp to the last column/row.
+    pub fn cell_of(&self, p: Vec2) -> usize {
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
+        cy * self.cols + cx
+    }
+
+    /// Distance (m) from `p` to the nearest boundary of the cell that
+    /// contains it — the incremental refresh scheduler divides this by the
+    /// node's speed bound to find the earliest possible cell crossing.
+    pub fn boundary_distance(&self, p: Vec2) -> f64 {
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1) as f64;
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1) as f64;
+        let dx = (p.x - cx * self.cell).min((cx + 1.0) * self.cell - p.x);
+        let dy = (p.y - cy * self.cell).min((cy + 1.0) * self.cell - p.y);
+        dx.min(dy).max(0.0)
+    }
+
+    /// Calls `visit(cell_index)` for every cell overlapping the disc of
+    /// `radius` around `center` (cells whose closest point to `center`
+    /// exceeds the radius are skipped).
+    #[inline]
+    pub fn for_each_cell_in_disc<F: FnMut(usize)>(&self, center: Vec2, radius: f64, mut visit: F) {
+        let r2 = radius * radius;
+        let inv = 1.0 / self.cell;
+        let cx0 = (((center.x - radius) * inv).floor().max(0.0)) as usize;
+        let cy0 = (((center.y - radius) * inv).floor().max(0.0)) as usize;
+        let cx1 = (((center.x + radius) * inv).floor())
+            .min(self.cols as f64 - 1.0)
+            .max(0.0) as usize;
+        let cy1 = (((center.y + radius) * inv).floor())
+            .min(self.rows as f64 - 1.0)
+            .max(0.0) as usize;
+        for cy in cy0..=cy1 {
+            // Closest approach of this cell row to the centre.
+            let row_lo = cy as f64 * self.cell;
+            let dy = (center.y - (center.y.clamp(row_lo, row_lo + self.cell))).abs();
+            for cx in cx0..=cx1 {
+                let col_lo = cx as f64 * self.cell;
+                let dx = (center.x - (center.x.clamp(col_lo, col_lo + self.cell))).abs();
+                if dx * dx + dy * dy > r2 {
+                    continue; // cell entirely outside the disc
+                }
+                visit(cy * self.cols + cx);
+            }
+        }
+    }
+}
+
 /// Maintenance-cost counters of a [`SpatialGrid`] — the measurable half of
 /// the "incremental beats horizon-rebuild" claim. A bucket *op* is one
 /// linked-list write: a rebuild costs `n` ops, an incremental node move
@@ -59,12 +145,8 @@ pub struct GridStats {
 /// allocation; rebuilds reuse every buffer, incremental updates are O(1)).
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
-    /// Cell edge length (m).
-    cell: f64,
-    /// Number of cell columns.
-    cols: usize,
-    /// Number of cell rows.
-    rows: usize,
+    /// Cell decomposition of the field.
+    geom: CellGeometry,
     /// Head node index per cell (`usize::MAX` = empty).
     heads: Vec<usize>,
     /// Next node index in the same cell (`usize::MAX` = end).
@@ -88,14 +170,10 @@ impl SpatialGrid {
     /// the maximum radio range. Buffers start empty; call
     /// [`rebuild`](Self::rebuild) before querying.
     pub fn new(field: Field, cell: f64) -> Self {
-        assert!(cell > 0.0 && cell.is_finite(), "cell edge must be positive");
-        let cols = (field.width / cell).ceil().max(1.0) as usize;
-        let rows = (field.height / cell).ceil().max(1.0) as usize;
+        let geom = CellGeometry::new(field, cell);
         Self {
-            cell,
-            cols,
-            rows,
-            heads: vec![NONE; cols * rows],
+            geom,
+            heads: vec![NONE; geom.n_cells()],
             next: Vec::new(),
             prev: Vec::new(),
             cell_idx: Vec::new(),
@@ -107,7 +185,12 @@ impl SpatialGrid {
 
     /// Cell edge length (m).
     pub fn cell_size(&self) -> f64 {
-        self.cell
+        self.geom.cell_size()
+    }
+
+    /// The grid's cell decomposition of the field.
+    pub fn geometry(&self) -> CellGeometry {
+        self.geom
     }
 
     /// Simulation time of the last rebuild (`-inf` before the first).
@@ -127,22 +210,13 @@ impl SpatialGrid {
     }
 
     fn cell_of(&self, p: Vec2) -> usize {
-        // Positions are inside the field; clamp anyway so a boundary value
-        // (x == width) maps to the last column.
-        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
-        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
-        cy * self.cols + cx
+        self.geom.cell_of(p)
     }
 
     /// Distance (m) from `p` to the nearest boundary of the cell that
-    /// contains it — the incremental refresh scheduler divides this by the
-    /// node's speed bound to find the earliest possible cell crossing.
+    /// contains it (see [`CellGeometry::boundary_distance`]).
     pub fn boundary_distance(&self, p: Vec2) -> f64 {
-        let cx = ((p.x / self.cell) as usize).min(self.cols - 1) as f64;
-        let cy = ((p.y / self.cell) as usize).min(self.rows - 1) as f64;
-        let dx = (p.x - cx * self.cell).min((cx + 1.0) * self.cell - p.x);
-        let dy = (p.y - cy * self.cell).min((cy + 1.0) * self.cell - p.y);
-        dx.min(dy).max(0.0)
+        self.geom.boundary_distance(p)
     }
 
     fn link(&mut self, i: usize, c: usize) {
@@ -252,29 +326,8 @@ impl SpatialGrid {
 
     /// Visits every cell overlapping the disc (`center`, `radius`).
     fn visit_cells<F: FnMut(&Self, usize)>(&self, center: Vec2, radius: f64, mut visit: F) {
-        let r2 = radius * radius;
-        let inv = 1.0 / self.cell;
-        let cx0 = (((center.x - radius) * inv).floor().max(0.0)) as usize;
-        let cy0 = (((center.y - radius) * inv).floor().max(0.0)) as usize;
-        let cx1 = (((center.x + radius) * inv).floor())
-            .min(self.cols as f64 - 1.0)
-            .max(0.0) as usize;
-        let cy1 = (((center.y + radius) * inv).floor())
-            .min(self.rows as f64 - 1.0)
-            .max(0.0) as usize;
-        for cy in cy0..=cy1 {
-            // Closest approach of this cell row to the centre.
-            let row_lo = cy as f64 * self.cell;
-            let dy = (center.y - (center.y.clamp(row_lo, row_lo + self.cell))).abs();
-            for cx in cx0..=cx1 {
-                let col_lo = cx as f64 * self.cell;
-                let dx = (center.x - (center.x.clamp(col_lo, col_lo + self.cell))).abs();
-                if dx * dx + dy * dy > r2 {
-                    continue; // cell entirely outside the disc
-                }
-                visit(self, cy * self.cols + cx);
-            }
-        }
+        let geom = self.geom;
+        geom.for_each_cell_in_disc(center, radius, |cell| visit(self, cell));
     }
 }
 
@@ -419,6 +472,46 @@ mod tests {
         let mut out = Vec::new();
         grid.candidates_within(Vec2::new(99.0, 99.0), 2.0, &mut out);
         assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn cell_geometry_disc_visits_match_grid_queries() {
+        // The extracted CellGeometry must enumerate exactly the cells the
+        // grid's own disc walk visits (the frame window reuses it).
+        let field = Field::new(500.0, 300.0);
+        let geom = CellGeometry::new(field, 70.0);
+        assert_eq!(geom.n_cells(), 8 * 5);
+        // every point maps into a valid cell, boundary included
+        for p in [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(500.0, 300.0),
+            Vec2::new(69.999, 70.001),
+            Vec2::new(499.0, 0.0),
+        ] {
+            assert!(geom.cell_of(p) < geom.n_cells());
+        }
+        // disc visits: brute-force over all cells via their corner boxes
+        for &(cx, cy, r) in &[
+            (250.0, 150.0, 69.0),
+            (0.0, 0.0, 150.0),
+            (499.0, 299.0, 40.0),
+        ] {
+            let center = Vec2::new(cx, cy);
+            let mut got = Vec::new();
+            geom.for_each_cell_in_disc(center, r, |c| got.push(c));
+            // any cell containing a point within r must be visited
+            for gx in 0..100 {
+                for gy in 0..60 {
+                    let p = Vec2::new(gx as f64 * 5.0, gy as f64 * 5.0);
+                    if field.contains(p) && p.distance(center) <= r {
+                        assert!(
+                            got.contains(&geom.cell_of(p)),
+                            "cell of {p:?} missed for disc ({cx},{cy},{r})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

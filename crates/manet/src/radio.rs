@@ -144,6 +144,38 @@ impl PathLoss {
     pub fn tx_for(self, rx_dbm: f64, d: f64) -> f64 {
         rx_dbm + self.loss_db(d)
     }
+
+    /// Squared-distance bounds `(lo², hi²)` for the **log-free** receive
+    /// test of a transmission at `tx_dbm` against `threshold_dbm`:
+    ///
+    /// * `d² ≤ lo²` ⟹ `rx_dbm(tx_dbm, d) ≥ threshold_dbm` (certainly
+    ///   above threshold),
+    /// * `d² > hi²` ⟹ `rx_dbm(tx_dbm, d) < threshold_dbm` (certainly
+    ///   below),
+    /// * `lo² < d² ≤ hi²` ⟹ undetermined: evaluate the exact dB-domain
+    ///   comparison (the band is [`THRESHOLD_BAND`]-thin, so this is
+    ///   essentially never taken).
+    ///
+    /// When no distance satisfies the threshold (the link budget is below
+    /// the model's close-in plateau) both bounds are negative, so every
+    /// `d² ≥ 0` takes the certainly-below branch. Precomputing this once
+    /// per transmission replaces the per-candidate `log10` of the receive
+    /// test with a squared-distance compare whose classification is
+    /// identical to the dB-domain test.
+    pub fn threshold_band_sq(self, tx_dbm: f64, threshold_dbm: f64) -> (f64, f64) {
+        // The dB test at d = 0 decides the degenerate cases: models clamp
+        // the close-in loss (log-distance plateaus below the reference
+        // distance, everything clamps below 1 mm), so a budget below the
+        // plateau loss decodes nowhere even though `range_for` still
+        // returns its reference distance.
+        if self.rx_dbm(tx_dbm, 0.0) < threshold_dbm {
+            return (-1.0, -1.0);
+        }
+        let d = self.range_for(tx_dbm, threshold_dbm);
+        let lo = (d * (1.0 - THRESHOLD_BAND) - THRESHOLD_BAND).max(0.0);
+        let hi = d * (1.0 + THRESHOLD_BAND) + THRESHOLD_BAND;
+        (lo * lo, hi * hi)
+    }
 }
 
 /// Physical-layer configuration shared by all nodes.
@@ -208,6 +240,26 @@ pub const SHADOW_TAIL_SIGMAS: f64 = 4.0;
 /// irrelevant interferers are skipped by a squared-distance compare
 /// instead of a `log10`.
 pub const INTERFERENCE_FLOOR_DB: f64 = 10.0;
+
+/// Relative half-width of the uncertainty band around a precomputed
+/// decode-threshold distance (see [`PathLoss::threshold_band_sq`]).
+///
+/// The log-free receive test classifies a candidate by comparing its
+/// squared distance against a precomputed threshold instead of evaluating
+/// the dB-domain `rx_dbm ≥ sensitivity` comparison (a `log10`) per
+/// candidate. Floating-point `log10`/`powf` round, so the distance-domain
+/// and dB-domain comparisons could in principle disagree within a few ulps
+/// of the exact threshold. The band makes that impossible by construction:
+/// distances within `±BAND` (relative, plus `BAND` absolute for
+/// threshold-at-zero cases) of the inverted threshold fall back to the
+/// exact dB comparison, and only distances *outside* the band use the fast
+/// compare. `1e-9` relative is ~10⁷ ulps — astronomically wider than the
+/// ≤ few-ulp wobble of `log10`/`powf` — while still vanishingly thin
+/// physically (nanometres at radio ranges), so the fallback is essentially
+/// never taken. Boundary proptests in the property suite pin the
+/// classification equivalence at randomly sampled near-threshold
+/// distances.
+pub const THRESHOLD_BAND: f64 = 1e-9;
 
 /// Analytic upper bound on the probability mass clipped by the
 /// [`SHADOW_TAIL_SIGMAS`] truncation: the Mills-ratio bound
@@ -409,6 +461,63 @@ mod tests {
         };
         let d = tr.range_for(16.0, -90.0);
         assert!((tr.rx_dbm(16.0, d) - -90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn threshold_band_classifies_like_the_db_test() {
+        // The log-free receive test's contract: outside the band, the
+        // squared-distance compare and the dB-domain compare must agree.
+        for model in [
+            PathLoss::ns3_default(),
+            PathLoss::Friis {
+                frequency_hz: 2.4e9,
+            },
+            PathLoss::TwoRayGround {
+                frequency_hz: 2.4e9,
+                antenna_height: 1.5,
+            },
+        ] {
+            for (tx, thr) in [(16.02, -96.0), (0.0, -80.0), (10.0, -106.0)] {
+                let (lo2, hi2) = model.threshold_band_sq(tx, thr);
+                let d_star = model.range_for(tx, thr);
+                for k in 1..200 {
+                    let d = d_star * (k as f64 / 100.0);
+                    let d2 = d * d;
+                    let db_says = model.rx_dbm(tx, d) >= thr;
+                    if d2 <= lo2 {
+                        assert!(db_says, "lo bound unsound at d={d} ({model:?})");
+                    } else if d2 > hi2 {
+                        assert!(!db_says, "hi bound unsound at d={d} ({model:?})");
+                    }
+                }
+                // exactly at the inverted threshold we must be in-band or
+                // classified consistently
+                let d2 = d_star * d_star;
+                if d2 > hi2 {
+                    assert!(model.rx_dbm(tx, d_star) < thr);
+                } else if d2 <= lo2 {
+                    assert!(model.rx_dbm(tx, d_star) >= thr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_band_handles_undecodable_budget() {
+        // Link budget below the close-in plateau: nothing decodes, both
+        // bounds are negative so every distance takes the fast "below"
+        // branch — matching the dB test at any d, including 0.
+        let m = PathLoss::ns3_default();
+        // 46.6777 dB reference loss: a -50 dB budget decodes nowhere
+        let (lo2, hi2) = m.threshold_band_sq(-10.0, -50.0);
+        assert!(lo2 < 0.0 && hi2 < 0.0);
+        assert!(m.rx_dbm(-10.0, 0.0) < -50.0);
+        assert!(m.rx_dbm(-10.0, 1e-6) < -50.0);
+        // budget exactly at the plateau: the plateau distances decode
+        let thr = 16.02 - 46.6777;
+        let (lo2, _) = m.threshold_band_sq(16.02, thr);
+        assert!(lo2 > 0.0, "plateau-exact budget must decode close in");
+        assert!(m.rx_dbm(16.02, 0.5) >= thr);
     }
 
     #[test]

@@ -33,17 +33,28 @@
 //!   and hands each survivor's exact position and squared distance
 //!   straight to the outcome test, whose arithmetic is bit-identical to
 //!   the historical per-receiver path.
-//! * an **interference gate** derived from deterministic path loss: each
-//!   transmission precomputes the radius beyond which its received power
-//!   is provably below the interference floor
+//! * a **log-free receive test**: each transmission precomputes
+//!   squared-distance decode thresholds (the dB-domain `rx ≥ sensitivity`
+//!   comparison reproduced exactly at precompute time, see
+//!   [`crate::radio::PathLoss::threshold_band_sq`]), so the unshadowed
+//!   decode test is a `d²` compare against the snapshot lanes with no
+//!   `log10` per candidate; the received power of a decodable candidate
+//!   is deferred until a delivery or capture comparison needs its value.
+//!   Interferers likewise carry precomputed floor/gating radii
 //!   ([`crate::radio::INTERFERENCE_FLOOR_DB`], shadowing tail included),
-//!   so the snapshot outcome test skips far-away interferers with a
-//!   squared-distance compare instead of a `log10` — the sums are
-//!   unchanged because skipped terms contribute exactly zero.
+//!   so provably irrelevant terms are skipped by a squared-distance
+//!   compare — the sums are unchanged because skipped terms contribute
+//!   exactly zero. Shadowed links keep the dB-domain test but share one
+//!   shadowing draw per (transmitter, receiver) pair across a frame's
+//!   outcome evaluations.
 //! * the `recent`-transmission log became an O(active-set)
-//!   [`ActiveWindow`]: per-duration lanes pruned as transmissions expire,
-//!   iterated in insertion order so interference sums stay bit-identical
-//!   to the historical flat scan.
+//!   [`ActiveWindow`] (per-duration lanes pruned as transmissions expire),
+//!   **spatialised** for the incremental query as a
+//!   [`crate::events::SpatialActiveWindow`]: in-flight frames are
+//!   bucketed by grid cell, a query gathers only the frames near its
+//!   receivers (O(nearby), not O(active set) per receiver) and replays
+//!   them in insertion order, so interference sums stay bit-identical to
+//!   the historical flat scan.
 //! * shadowed scenarios (`shadowing_sigma_db > 0`) no longer fall back to
 //!   the naive O(n) receiver scan: the per-link shadowing gain is
 //!   truncated at `+4σ` ([`crate::radio::SHADOW_TAIL_SIGMAS`], with an
@@ -70,9 +81,9 @@
 //! without per-run heap churn — batched evaluation runs thousands of
 //! simulations per optimizer generation.
 
-use crate::events::{ActiveWindow, EventQueue};
+use crate::events::{ActiveWindow, EventQueue, SpatialActiveWindow};
 use crate::geometry::{Field, Vec2};
-use crate::grid::{GridStats, SpatialGrid};
+use crate::grid::{CellGeometry, GridStats, SpatialGrid};
 use crate::metrics::{BroadcastMetrics, SimCounters};
 use crate::mobility::{
     AnyMobility, Mobility, MobilityModel, RandomWalk, RandomWaypoint, Stationary,
@@ -228,6 +239,23 @@ struct Transmission {
     /// `log10` for it without changing any interference sum. Precomputed
     /// once per transmission.
     gate_r2: f64,
+    /// Log-free decode band (`lo²`, `hi²`) of this frame's power against
+    /// the receiver sensitivity ([`PathLoss::threshold_band_sq`]): in the
+    /// unshadowed case the receive test becomes a squared-distance compare
+    /// against these bounds, with only the hair-thin in-band sliver
+    /// falling back to the exact dB comparison. Meaningless under
+    /// shadowing (the per-link draw shifts the threshold), where the fused
+    /// path keeps the dB-domain test.
+    ///
+    /// [`PathLoss::threshold_band_sq`]: crate::radio::PathLoss::threshold_band_sq
+    decode_lo_r2: f64,
+    decode_hi_r2: f64,
+    /// Upper bound of the log-free *interference-floor* band: beyond this
+    /// squared distance this frame's unshadowed received power is provably
+    /// below `sensitivity − `[`INTERFERENCE_FLOOR_DB`], so the fused
+    /// interference loop skips its `log10` — exactly the terms the
+    /// historical loop evaluates and then discards.
+    floor_hi_r2: f64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -270,6 +298,12 @@ pub struct QueryProfile {
     pub filter_s: f64,
     /// Seconds spent in exact receive-outcome tests (incl. interference).
     pub outcome_s: f64,
+    /// Seconds of `outcome_s` spent resolving interference and capture
+    /// (the per-decodable-receiver frame loop) — the phase the spatialised
+    /// active window optimises. Only the incremental path is instrumented
+    /// at this granularity; the historical baselines keep their verbatim
+    /// single-loop shape, so their split stays filter/outcome only.
+    pub interference_s: f64,
 }
 
 /// Simulator state visible to protocols through [`ProtocolApi`].
@@ -280,8 +314,17 @@ struct World {
     tables: Vec<NeighborTable>,
     rng: SmallRng,
     /// Transmissions that can still interfere with an in-flight frame —
-    /// one lane per duration class, pruned as transmissions expire.
+    /// one lane per duration class, pruned as transmissions expire. The
+    /// historical delivery paths iterate this flat window verbatim.
     active: ActiveWindow<Transmission>,
+    /// The same live transmissions bucketed by grid cell
+    /// ([`SpatialActiveWindow`]): the incremental path gathers only the
+    /// frames *near* a query's receivers, in O(nearby) instead of
+    /// O(active set), then replays them in insertion order so every
+    /// interference sum stays bit-identical to the flat scan. Maintained
+    /// in lockstep with `active` (same insertions, same prunes, same
+    /// sequence numbers).
+    frames: SpatialActiveWindow<Transmission>,
     metrics: BroadcastMetrics,
     counters: SimCounters,
     broadcast_started: bool,
@@ -303,8 +346,35 @@ struct World {
     /// surviving the snapshot filter (incremental mode) — the position
     /// and distance feed straight into the outcome test.
     filter_scratch: Vec<(NodeId, Vec2, f64)>,
+    /// Scratch: candidates that passed the (log-free) decode test, with
+    /// their received power (NaN = deferred: computed only if the capture
+    /// comparison or a delivery actually needs it).
+    decode_scratch: Vec<(NodeId, Vec2, f64, f64)>,
+    /// Scratch: `(seq, frame)` gathered from the spatial window for the
+    /// current query, sorted by `seq` to replay insertion order.
+    frame_scratch: Vec<(u64, Transmission)>,
     /// Scratch: successful deliveries of the current frame.
     delivery_scratch: Vec<(NodeId, f64)>,
+    /// Largest (ε-inflated) interference gating radius of any transmission
+    /// since reset — a monotone bound on how far any live frame can
+    /// matter, used to size the per-query frame gather.
+    max_gate_r: f64,
+    /// How far a receiver can drift from one of its *own* frames during
+    /// the longest possible frame overlap — the gather disc is widened by
+    /// this so half-duplex detection can never miss a receiver's own
+    /// transmission.
+    hd_reach: f64,
+    /// `dbm_to_mw(capture_db)`, hoisted out of the per-candidate outcome
+    /// test (bit-identical: same input, same `powf`).
+    capture_ratio_mw: f64,
+    /// Per-node cache of `link_shadowing_db(·, sender, receiver)` draws
+    /// for the receiver currently under evaluation: one draw per
+    /// (transmitter, receiver) pair is shared across all of that
+    /// transmitter's overlapping frames in the query. Keyed by a
+    /// monotonically bumped epoch so invalidation is O(1).
+    shadow_val: Vec<f64>,
+    shadow_stamp: Vec<u64>,
+    shadow_epoch: u64,
     /// Which delivery path resolves receivers (see [`DeliveryMode`]).
     mode: DeliveryMode,
     /// Whether delivery queries sample wall time into `profile`.
@@ -324,6 +394,10 @@ enum Reception {
 impl World {
     fn empty(config: SimConfig) -> Self {
         let grid = SpatialGrid::new(config.field, grid_cell(&config.radio, config.field));
+        let frames = SpatialActiveWindow::new(
+            CellGeometry::new(config.field, frame_cell(&config.radio, config.field)),
+            2,
+        );
         let snapshot = KinematicSnapshot::new(config.field);
         let metrics = BroadcastMetrics::new(config.source, config.broadcast_time);
         let mut world = World {
@@ -333,6 +407,7 @@ impl World {
             tables: Vec::new(),
             rng: SmallRng::seed_from_u64(0),
             active: ActiveWindow::new(2),
+            frames,
             metrics,
             counters: SimCounters::default(),
             broadcast_started: false,
@@ -342,7 +417,15 @@ impl World {
             refresh_events: 0,
             candidate_scratch: Vec::new(),
             filter_scratch: Vec::new(),
+            decode_scratch: Vec::new(),
+            frame_scratch: Vec::new(),
             delivery_scratch: Vec::new(),
+            max_gate_r: 0.0,
+            hd_reach: 0.0,
+            capture_ratio_mw: 0.0,
+            shadow_val: Vec::new(),
+            shadow_stamp: Vec::new(),
+            shadow_epoch: 0,
             mode: DeliveryMode::default(),
             profile_on: false,
             profile: QueryProfile::default(),
@@ -373,6 +456,14 @@ impl World {
             self.grid = SpatialGrid::new(config.field, cell);
         }
         self.grid.reset_stats();
+        let fcell = frame_cell(&config.radio, config.field);
+        let fgeom = CellGeometry::new(config.field, fcell);
+        if fgeom != self.frames.geometry() {
+            // No frames are in flight at reset, so this is a pure
+            // re-decomposition (the migration path is still exercised by
+            // the events-module tests).
+            self.frames.reset_geometry(fgeom);
+        }
         self.refresh_events = 0;
 
         self.queue.clear();
@@ -430,14 +521,29 @@ impl World {
         self.tables.resize_with(config.n_nodes, NeighborTable::new);
 
         self.active.clear();
+        self.frames.clear();
         self.metrics.reset(config.source, config.broadcast_time);
         self.counters = SimCounters::default();
         self.broadcast_started = false;
         self.candidate_scratch.clear();
         self.filter_scratch.clear();
+        self.decode_scratch.clear();
+        self.frame_scratch.clear();
         self.delivery_scratch.clear();
+        self.max_gate_r = 0.0;
+        // Worst-case drift between a receiver and its own frozen frame
+        // position over any possible frame overlap (two full on-air
+        // durations), plus a metre of slack — see `hd_reach`'s field docs.
+        let max_duration = config.radio.beacon_duration.max(config.radio.data_duration);
+        self.capture_ratio_mw = dbm_to_mw(config.radio.capture_db);
+        self.shadow_val.clear();
+        self.shadow_val.resize(config.n_nodes, 0.0);
+        self.shadow_stamp.clear();
+        self.shadow_stamp.resize(config.n_nodes, 0);
+        self.shadow_epoch = 0;
         self.profile = QueryProfile::default();
         self.config = config;
+        self.hd_reach = self.max_speed() * 2.0 * max_duration + 1.0;
 
         // Initial placement of the spatial index (the first "rebuild" of
         // either grid discipline) and of the SoA kinematic snapshot, then
@@ -531,8 +637,18 @@ impl World {
         // Amortise the interference gate over every query this frame will
         // ever appear in: one `range_for` here instead of a `log10` per
         // (candidate × active frame) in the delivery loop.
-        let gate = self.config.radio.interference_floor_range(tx_dbm) * (1.0 + RANGE_EPSILON)
-            + RANGE_EPSILON;
+        let radio = &self.config.radio;
+        let gate = radio.interference_floor_range(tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON;
+        // Log-free decode/floor bands (exact-threshold distances with the
+        // dB-domain comparison reproduced at precompute time): three
+        // `powf`s here buy away a `log10` per candidate×frame pair in the
+        // unshadowed receive tests below.
+        let (decode_lo_r2, decode_hi_r2) = radio
+            .path_loss
+            .threshold_band_sq(tx_dbm, radio.rx_sensitivity_dbm);
+        let (_, floor_hi_r2) = radio
+            .path_loss
+            .threshold_band_sq(tx_dbm, radio.rx_sensitivity_dbm - INTERFERENCE_FLOOR_DB);
         let tx = Transmission {
             sender: node,
             pos: self.snapshot.position(node, now),
@@ -541,6 +657,9 @@ impl World {
             end: now + duration,
             kind,
             gate_r2: gate * gate,
+            decode_lo_r2,
+            decode_hi_r2,
+            floor_hi_r2,
         };
         match kind {
             FrameKind::Beacon => self.counters.beacons_sent += 1,
@@ -549,7 +668,9 @@ impl World {
                 self.metrics.record_transmission(node, tx_dbm);
             }
         }
+        self.max_gate_r = self.max_gate_r.max(gate);
         self.active.insert(kind.lane(), tx.end, tx);
+        self.frames.insert(kind.lane(), tx.end, tx.pos, tx);
         self.queue.schedule(tx.end, Event::TxEnd(tx));
     }
 
@@ -597,57 +718,6 @@ impl World {
         Reception::Delivered(rx_dbm)
     }
 
-    /// The same exact delivery test as [`receive_outcome`], but fed by the
-    /// snapshot filter: the receiver's exact position `rpos` and squared
-    /// distance `d2` were already computed from the SoA lanes, and
-    /// interferers outside their precomputed gating radius are skipped
-    /// without the `log10` (they provably sit below the interference
-    /// floor, so the sum is unchanged). Bit-identical to
-    /// [`receive_outcome`] — `d2.sqrt()` reproduces [`Vec2::distance`]'s
-    /// arithmetic exactly, and the SoA lanes reproduce
-    /// [`Mobility::position`] exactly — which the cross-mode parity suites
-    /// pin down.
-    ///
-    /// [`receive_outcome`]: World::receive_outcome
-    fn receive_outcome_at(&self, tx: &Transmission, r: NodeId, rpos: Vec2, d2: f64) -> Reception {
-        let pl = self.config.radio.path_loss;
-        let sens = self.config.radio.rx_sensitivity_dbm;
-        let capture_ratio = dbm_to_mw(self.config.radio.capture_db);
-        let sigma = self.config.radio.shadowing_sigma_db;
-        let seed = self.config.seed;
-        let rx_dbm = pl.rx_dbm(tx.tx_dbm, d2.sqrt())
-            + crate::radio::link_shadowing_db(sigma, seed, tx.sender, r);
-        if rx_dbm < sens {
-            return Reception::OutOfRange;
-        }
-        let mut interference_mw = 0.0;
-        for o in self.active.iter() {
-            if o.start >= tx.end || o.end <= tx.start {
-                continue; // no overlap
-            }
-            if o.sender == tx.sender && o.start == tx.start && o.end == tx.end {
-                continue; // the frame itself (copy in the log)
-            }
-            if o.sender == r {
-                return Reception::HalfDuplex;
-            }
-            let od2 = o.pos.distance_sq(rpos);
-            if od2 > o.gate_r2 {
-                continue; // provably below the interference floor
-            }
-            let o_rx = pl.rx_dbm(o.tx_dbm, od2.sqrt())
-                + crate::radio::link_shadowing_db(sigma, seed, o.sender, r);
-            if o_rx >= sens - INTERFERENCE_FLOOR_DB {
-                // Only energy near the sensitivity floor matters.
-                interference_mw += dbm_to_mw(o_rx);
-            }
-        }
-        if interference_mw > 0.0 && dbm_to_mw(rx_dbm) < capture_ratio * interference_mw {
-            return Reception::Collided;
-        }
-        Reception::Delivered(rx_dbm)
-    }
-
     fn record_loss(&mut self, tx: &Transmission, outcome: &Reception) {
         match outcome {
             Reception::HalfDuplex => {
@@ -677,17 +747,19 @@ impl World {
     /// capture rules, appended to `out` as `(node, rx_dbm)` in ascending
     /// node order. The candidate pre-filter depends on the
     /// [`DeliveryMode`]; the exact per-receiver test is shared arithmetic
-    /// (see [`receive_outcome_at`]), so every mode produces identical
-    /// results.
+    /// (see [`compute_deliveries_snapshot`]), so every mode produces
+    /// identical results.
     ///
-    /// [`receive_outcome_at`]: World::receive_outcome_at
+    /// [`compute_deliveries_snapshot`]: World::compute_deliveries_snapshot
     fn compute_deliveries(&mut self, tx: &Transmission, out: &mut Vec<(NodeId, f64)>) {
         let t_start = self.profile_on.then(Instant::now);
         // Transmissions that ended at or before this frame's start can no
         // longer overlap it — nor any future frame, since simulation time
         // is monotone. O(expired), so total prune work is bounded by the
-        // number of transmissions.
+        // number of transmissions. Both views of the active set are pruned
+        // in lockstep.
         self.active.prune(tx.start);
+        self.frames.prune(tx.start);
         if self.mode == DeliveryMode::Incremental {
             self.compute_deliveries_snapshot(tx, out, t_start);
         } else {
@@ -698,12 +770,34 @@ impl World {
     /// The optimised delivery query (the default [`DeliveryMode`]):
     /// iterates the grid cells overlapping the decode disc directly into a
     /// filter over the SoA kinematic snapshot — no intermediate id list,
-    /// no per-candidate `dyn Mobility` dispatch — and feeds each
-    /// survivor's already-computed exact position and squared distance
-    /// into the fused outcome test. Dropping candidates beyond the decode
-    /// radius cannot change any outcome (they can neither decode nor
-    /// register a loss); the filter predicate is bit-identical to the
-    /// historical `position(t).distance_sq(pos) <= r²` retain.
+    /// no per-candidate `dyn Mobility` dispatch — then resolves outcomes
+    /// in two passes whose arithmetic is bit-identical to the historical
+    /// per-receiver test ([`receive_outcome`](World::receive_outcome)):
+    ///
+    /// 1. **decode**: unshadowed, the `rx ≥ sensitivity` comparison is a
+    ///    squared-distance compare against the frame's precomputed
+    ///    [`threshold band`](crate::radio::PathLoss::threshold_band_sq) —
+    ///    no `log10`; the received power of a decodable candidate is
+    ///    deferred until a delivery (or capture comparison) actually needs
+    ///    it. Shadowed, the dB-domain test runs as before with the
+    ///    per-link draw.
+    /// 2. **interference**: live frames near this query are gathered
+    ///    *once* from the [`SpatialActiveWindow`] (O(nearby), not
+    ///    O(active set)) and replayed per decodable receiver in insertion
+    ///    order, so every interference sum accumulates in exactly the
+    ///    historical order. Frames beyond their own floor/gating radius
+    ///    are skipped by a squared-distance compare — terms the historical
+    ///    loop evaluates and then discards, so the sums cannot differ.
+    ///
+    /// Dropping candidates beyond the decode radius cannot change any
+    /// outcome (they can neither decode nor register a loss); the filter
+    /// predicate is bit-identical to the historical
+    /// `position(t).distance_sq(pos) <= r²` retain. The gather disc covers
+    /// every frame that could matter to any candidate: the decode radius
+    /// (bounding candidate positions) plus the largest live gating radius
+    /// (bounding interference reach) and the half-duplex drift bound
+    /// (bounding how far a receiver's own frozen frame can sit from its
+    /// current position).
     fn compute_deliveries_snapshot(
         &mut self,
         tx: &Transmission,
@@ -733,18 +827,134 @@ impl World {
         // (and their RNG draws), so every mode must match the naive scan.
         filtered.sort_unstable_by_key(|&(i, _, _)| i);
         let t_mid = self.profile_on.then(Instant::now);
-        for &(r, rpos, d2) in &filtered {
-            if r == tx.sender {
-                continue;
+
+        // Frames that can matter to *any* candidate of this query, in
+        // global insertion order (sequence numbers are shared with the
+        // flat window, so sorting by them replays its exact iteration
+        // order).
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        frames.clear();
+        self.frames
+            .gather_into(tx.pos, r + self.max_gate_r.max(self.hd_reach), &mut frames);
+        frames.sort_unstable_by_key(|&(seq, _)| seq);
+
+        let pl = self.config.radio.path_loss;
+        let sens = self.config.radio.rx_sensitivity_dbm;
+        let sigma = self.config.radio.shadowing_sigma_db;
+        let seed = self.config.seed;
+
+        // Pass 1 — decode. `rx = NaN` marks a deferred received power (the
+        // certain-decode fast path never evaluated the `log10`).
+        let mut decodable = std::mem::take(&mut self.decode_scratch);
+        decodable.clear();
+        if sigma <= 0.0 {
+            for &(i, p, d2) in &filtered {
+                if i == tx.sender {
+                    continue;
+                }
+                if d2 <= tx.decode_lo_r2 {
+                    decodable.push((i, p, d2, f64::NAN));
+                } else if d2 > tx.decode_hi_r2 {
+                    // provably below sensitivity: the historical
+                    // OutOfRange branch, which records nothing
+                } else {
+                    // in the hair-thin threshold band: exact dB test
+                    let rx = pl.rx_dbm(tx.tx_dbm, d2.sqrt());
+                    if rx >= sens {
+                        decodable.push((i, p, d2, rx));
+                    }
+                }
             }
-            let outcome = self.receive_outcome_at(tx, r, rpos, d2);
-            self.record_loss(tx, &outcome);
-            if let Reception::Delivered(rx_dbm) = outcome {
-                out.push((r, rx_dbm));
+        } else {
+            for &(i, p, d2) in &filtered {
+                if i == tx.sender {
+                    continue;
+                }
+                let rx = pl.rx_dbm(tx.tx_dbm, d2.sqrt())
+                    + crate::radio::link_shadowing_db(sigma, seed, tx.sender, i);
+                if rx >= sens {
+                    decodable.push((i, p, d2, rx));
+                }
             }
         }
+
+        // Pass 2 — interference + capture per decodable receiver.
+        let t_int = self.profile_on.then(Instant::now);
+        let floor = sens - INTERFERENCE_FLOOR_DB;
+        let capture_ratio = self.capture_ratio_mw;
+        for &(rid, rpos, d2, rx0) in &decodable {
+            let interference = if sigma <= 0.0 {
+                // Unshadowed: skip by the exact floor threshold, add no
+                // shadow term (link_shadowing_db is identically 0 here,
+                // so the accumulated terms match the historical loop
+                // bit-for-bit).
+                interference_sum(
+                    tx,
+                    rid,
+                    rpos,
+                    &frames,
+                    pl,
+                    floor,
+                    |o| o.floor_hi_r2,
+                    |_| 0.0,
+                )
+            } else {
+                // One shadowing draw per (transmitter, receiver) pair,
+                // shared across all of that transmitter's overlapping
+                // frames in this query.
+                self.shadow_epoch += 1;
+                let epoch = self.shadow_epoch;
+                let stamps = &mut self.shadow_stamp;
+                let vals = &mut self.shadow_val;
+                interference_sum(
+                    tx,
+                    rid,
+                    rpos,
+                    &frames,
+                    pl,
+                    floor,
+                    |o| o.gate_r2,
+                    |sender| {
+                        if stamps[sender] == epoch {
+                            vals[sender]
+                        } else {
+                            let v = crate::radio::link_shadowing_db(sigma, seed, sender, rid);
+                            stamps[sender] = epoch;
+                            vals[sender] = v;
+                            v
+                        }
+                    },
+                )
+            };
+            let outcome = if let Some(interference_mw) = interference {
+                let rx = if rx0.is_nan() {
+                    pl.rx_dbm(tx.tx_dbm, d2.sqrt())
+                } else {
+                    rx0
+                };
+                if interference_mw > 0.0 && dbm_to_mw(rx) < capture_ratio * interference_mw {
+                    Reception::Collided
+                } else {
+                    Reception::Delivered(rx)
+                }
+            } else {
+                Reception::HalfDuplex
+            };
+            self.record_loss(tx, &outcome);
+            if let Reception::Delivered(rx_dbm) = outcome {
+                out.push((rid, rx_dbm));
+            }
+        }
+
         self.filter_scratch = filtered;
-        self.record_profile(t_start, t_mid);
+        self.frame_scratch = frames;
+        self.decode_scratch = decodable;
+        if let (Some(start), Some(mid), Some(intf)) = (t_start, t_mid, t_int) {
+            let done = Instant::now();
+            self.profile.filter_s += (mid - start).as_secs_f64();
+            self.profile.outcome_s += (done - mid).as_secs_f64();
+            self.profile.interference_s += (done - intf).as_secs_f64();
+        }
     }
 
     /// The historical delivery queries, kept verbatim as measured
@@ -815,6 +1025,73 @@ impl World {
 /// on `exp_scale`, 2 is the knee: 3 shaves little more off the filter but
 /// grows the cell walk and the refresh stream.
 const GRID_CELL_DIVISOR: f64 = 2.0;
+
+/// The shared interference/half-duplex frame loop of the fused delivery
+/// query: replays the gathered `frames` (already sorted into global
+/// insertion order) for one decodable receiver, accumulating interfering
+/// power in exactly the historical iteration order. Returns `None` when
+/// one of the receiver's own frames overlaps (half duplex), otherwise the
+/// summed interference in mW.
+///
+/// `gate_r2` selects the per-frame squared skip radius (the exact floor
+/// threshold when unshadowed, the conservative `+4σ` gate when shadowed)
+/// and `shadow` the per-transmitter shadowing term; both are monomorphised
+/// per call site, so the unshadowed instantiation keeps its branch-free
+/// shape while the skip/overlap/self-frame logic exists exactly once.
+#[allow(clippy::too_many_arguments)] // internal monomorphised kernel
+#[inline(always)]
+fn interference_sum<G, S>(
+    tx: &Transmission,
+    rid: NodeId,
+    rpos: Vec2,
+    frames: &[(u64, Transmission)],
+    pl: crate::radio::PathLoss,
+    floor: f64,
+    gate_r2: G,
+    mut shadow: S,
+) -> Option<f64>
+where
+    G: Fn(&Transmission) -> f64,
+    S: FnMut(NodeId) -> f64,
+{
+    let mut interference_mw = 0.0;
+    for &(_, o) in frames {
+        if o.start >= tx.end || o.end <= tx.start {
+            continue; // no overlap
+        }
+        if o.sender == tx.sender && o.start == tx.start && o.end == tx.end {
+            continue; // the frame itself (copy in the log)
+        }
+        if o.sender == rid {
+            return None; // half duplex
+        }
+        let od2 = o.pos.distance_sq(rpos);
+        if od2 > gate_r2(&o) {
+            continue; // provably below the interference floor
+        }
+        let o_rx = pl.rx_dbm(o.tx_dbm, od2.sqrt()) + shadow(o.sender);
+        if o_rx >= floor {
+            // Only energy near the sensitivity floor matters.
+            interference_mw += dbm_to_mw(o_rx);
+        }
+    }
+    Some(interference_mw)
+}
+
+/// Cell edge for the spatialised active window: the interference gating
+/// reach at the default transmit power (shadowing tail included), clamped
+/// to the field diagonal. Frames matter out to roughly this distance, so
+/// one-reach cells keep a query's gather to a small constant block of
+/// buckets while still pruning far-away bursts.
+fn frame_cell(radio: &RadioConfig, field: Field) -> f64 {
+    let reach = radio.interference_floor_range(radio.default_tx_dbm);
+    let diag = (field.width * field.width + field.height * field.height).sqrt();
+    if reach.is_finite() && reach > 1.0 {
+        reach.min(diag)
+    } else {
+        diag
+    }
+}
 
 /// Cell edge for the spatial grid: a [`GRID_CELL_DIVISOR`]-th of the
 /// maximum radio range (default power at receiver sensitivity), clamped

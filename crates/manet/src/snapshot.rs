@@ -13,6 +13,14 @@
 //! single, perfectly predicted branch on the [`SegmentKind`] per query
 //! batch.
 //!
+//! Since the log-free receive-outcome rewrite, the squared distances this
+//! filter computes are not just a pre-filter input but the *decode test
+//! itself*: unshadowed, the delivery query compares each candidate's `d²`
+//! straight against the transmission's precomputed threshold band
+//! ([`PathLoss::threshold_band_sq`]) — no per-candidate `log10` — so the
+//! lanes feed the exact outcome classification, not merely a candidate
+//! list.
+//!
 //! Lanes are refreshed in **O(1)** when a node's mobility segment changes
 //! (the simulator drives [`KinematicSnapshot::set`] from the same
 //! mobility-change events that bump its per-node refresh generations) and
@@ -25,6 +33,7 @@
 //! bit.
 //!
 //! [`Mobility::position`]: crate::mobility::Mobility::position
+//! [`PathLoss::threshold_band_sq`]: crate::radio::PathLoss::threshold_band_sq
 
 use crate::geometry::{Field, Vec2};
 use crate::mobility::{KinematicSegment, SegmentKind};

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a fresh BENCH_scale.json against the
+committed floors in scripts/perf_floors.json.
+
+Usage: check_bench_regression.py [BENCH_PATH] [FLOORS_PATH]
+
+Each floor names a scenario (`nodes@density[@sigma]`, matching the
+`--dense` spec that produced the row) and a speedup metric. The gate fails
+when the fresh value is missing, null, or more than `tolerance`
+(fractional, e.g. 0.10 = 10%) below the floor — so a PR that slows the
+incremental delivery path relative to its baselines fails CI instead of
+silently eroding the headline numbers. Values above the floor print the
+headroom, which is the cue to raise the floor after a durable win.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_bench_regression: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def row_key(row):
+    sigma = row.get("shadowing_sigma_db") or 0.0
+    key = f"{row['nodes']}@{row['per_km2']}"
+    if sigma > 0.0:
+        # format sigma the way the --dense spec writes it (no trailing .0)
+        key += f"@{sigma:g}"
+    return key
+
+
+def main(argv):
+    bench_path = argv[1] if len(argv) > 1 else "BENCH_scale.json"
+    floors_path = argv[2] if len(argv) > 2 else "scripts/perf_floors.json"
+    try:
+        bench = json.load(open(bench_path))
+        floors = json.load(open(floors_path))
+    except (OSError, ValueError) as e:
+        fail(f"cannot read inputs: {e}")
+
+    tolerance = float(floors.get("tolerance", 0.0))
+    rows = {row_key(r): r for r in bench.get("scenarios", [])}
+    failures = []
+    for f in floors["floors"]:
+        scenario, metric, floor = f["scenario"], f["metric"], float(f["floor"])
+        row = rows.get(scenario)
+        if row is None:
+            failures.append(f"scenario {scenario} missing from {bench_path} (rows: {sorted(rows)})")
+            continue
+        value = row.get(metric)
+        if value is None:
+            failures.append(f"{scenario}: metric {metric} is null/missing")
+            continue
+        cutoff = floor * (1.0 - tolerance)
+        verdict = "OK" if value >= cutoff else "REGRESSED"
+        print(
+            f"check_bench_regression: {scenario} {metric} = {value:.3f} "
+            f"(floor {floor:.3f}, cutoff {cutoff:.3f}) {verdict}"
+        )
+        if value < cutoff:
+            failures.append(
+                f"{scenario}: {metric} {value:.3f} fell below {cutoff:.3f} "
+                f"(floor {floor:.3f} - {tolerance:.0%} tolerance)"
+            )
+    if failures:
+        fail("; ".join(failures))
+    print("check_bench_regression: all floors held")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

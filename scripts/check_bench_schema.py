@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_scale.json artifact against the bench-scale-v3 schema.
+
+Usage: check_bench_schema.py [PATH] [--rows N]
+
+PATH defaults to BENCH_scale.json in the current directory. --rows asserts
+the exact scenario-row count (CI passes the count its smoke run produces).
+
+The v3 schema is documented in crates/bench/src/scale.rs. Beyond key
+presence, the structural invariants checked here are the ones a broken
+profiler or a half-written emitter would violate:
+
+  * filter + outcome query time cannot exceed the mode's end-to-end time;
+  * the interference phase is a sub-interval of the outcome phase;
+  * the recorded speedup columns must equal the wall-time ratios they
+    summarise.
+"""
+
+import json
+import sys
+
+REQUIRED = [
+    "nodes",
+    "per_km2",
+    "shadowing_sigma_db",
+    "beacons_per_sec",
+    "coverage",
+    "incremental_s",
+    "rebuild_s",
+    "naive_s",
+    "incremental_filter_s",
+    "incremental_outcome_s",
+    "incremental_interference_s",
+    "rebuild_filter_s",
+    "rebuild_outcome_s",
+    "incremental_bucket_ops",
+    "rebuild_bucket_ops",
+    "peak_rss_bytes",
+    "speedup_rebuild_over_incremental",
+    "speedup_naive_over_incremental",
+]
+
+
+def fail(msg):
+    print(f"check_bench_schema: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(argv):
+    path = "BENCH_scale.json"
+    rows = None
+    args = argv[1:]
+    while args:
+        a = args.pop(0)
+        if a == "--rows":
+            rows = int(args.pop(0))
+        else:
+            path = a
+    try:
+        d = json.load(open(path))
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+
+    if d.get("schema") != "bench-scale-v3":
+        fail(f"schema is {d.get('schema')!r}, want 'bench-scale-v3'")
+    scenarios = d.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail("scenarios must be a non-empty list")
+    if rows is not None and len(scenarios) != rows:
+        fail(f"expected {rows} scenario rows, found {len(scenarios)}")
+
+    for row in scenarios:
+        name = f"{row.get('nodes')}@{row.get('per_km2')}"
+        for key in REQUIRED:
+            if key not in row:
+                fail(f"row {name}: missing key {key!r}")
+        if row["incremental_filter_s"] + row["incremental_outcome_s"] > row["incremental_s"]:
+            fail(f"row {name}: incremental query split exceeds end-to-end time")
+        if row["incremental_interference_s"] > row["incremental_outcome_s"]:
+            fail(f"row {name}: interference phase exceeds the outcome phase")
+        if row["rebuild_filter_s"] + row["rebuild_outcome_s"] > row["rebuild_s"]:
+            fail(f"row {name}: rebuild query split exceeds end-to-end time")
+        want = row["rebuild_s"] / row["incremental_s"]
+        got = row["speedup_rebuild_over_incremental"]
+        if abs(got - want) > 1e-4 * max(1.0, want):
+            fail(f"row {name}: speedup column {got} != rebuild_s/incremental_s {want}")
+        if row["naive_s"] is not None:
+            want = row["naive_s"] / row["incremental_s"]
+            got = row["speedup_naive_over_incremental"]
+            if got is None or abs(got - want) > 1e-4 * max(1.0, want):
+                fail(f"row {name}: naive speedup column {got} != {want}")
+
+    if "batched_eval" not in d:
+        fail("missing batched_eval object")
+    print(f"check_bench_schema: OK ({len(scenarios)} rows, schema bench-scale-v3)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -201,7 +201,185 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn threshold_band_matches_db_test_at_exact_threshold_distances(
+        tx_dbm in -20.0f64..30.0,
+        threshold_dbm in -110.0f64..-40.0,
+        // relative offsets straddling the exact inverted threshold, down
+        // to a fraction of the band width
+        offset in -1e-7f64..1e-7,
+    ) {
+        // The log-free receive test's soundness contract at the sharpest
+        // possible inputs: distances within ±1e-7 (relative) of the exact
+        // decode threshold — 100x the uncertainty band — must classify
+        // identically to the dB-domain comparison whenever the fast
+        // squared-distance compare claims certainty.
+        let pl = manet::radio::PathLoss::ns3_default();
+        prop_assume!(tx_dbm > threshold_dbm);
+        let (lo2, hi2) = pl.threshold_band_sq(tx_dbm, threshold_dbm);
+        let d_star = pl.range_for(tx_dbm, threshold_dbm);
+        let d = d_star * (1.0 + offset);
+        let d2 = d * d;
+        let db_says = pl.rx_dbm(tx_dbm, d) >= threshold_dbm;
+        if d2 <= lo2 {
+            prop_assert!(db_says, "lo bound unsound: d={d} d*={d_star}");
+        } else if d2 > hi2 {
+            prop_assert!(!db_says, "hi bound unsound: d={d} d*={d_star}");
+        }
+        // exactly at the threshold distance itself
+        let d2s = d_star * d_star;
+        let db_at = pl.rx_dbm(tx_dbm, d_star) >= threshold_dbm;
+        if d2s <= lo2 {
+            prop_assert!(db_at);
+        } else if d2s > hi2 {
+            prop_assert!(!db_at);
+        }
+    }
+
+    #[test]
+    fn spatial_window_interference_sums_match_flat_window(
+        side in 300.0f64..3000.0,
+        n_frames in 1usize..120,
+        n_prunes in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        // Random transmission traces through both active-window
+        // structures: the flat insertion-order scan and the spatialised
+        // gather (sorted by seq) must see the same contributing frames in
+        // the same order and accumulate bit-identical interference sums.
+        use manet::events::{ActiveWindow, SpatialActiveWindow};
+        use manet::geometry::{Field, Vec2};
+        use manet::grid::CellGeometry;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let field = Field::new(side, side);
+        let radio = manet::radio::RadioConfig::paper();
+        // a coarse frame-window cell, like the simulator's
+        let cell = radio
+            .interference_floor_range(radio.default_tx_dbm)
+            .min(side);
+        let mut flat: ActiveWindow<(Vec2, f64, f64)> = ActiveWindow::new(2);
+        let mut spatial: SpatialActiveWindow<(Vec2, f64, f64)> =
+            SpatialActiveWindow::new(CellGeometry::new(field, cell), 2);
+
+        let durations = [0.0004, 0.0041];
+        let mut t = 0.0f64;
+        let mut max_gate: f64 = 0.0;
+        for k in 0..n_frames {
+            t += rng.gen_range(0.0..0.01);
+            let lane = rng.gen_range(0..2usize);
+            let pos = Vec2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            let tx_dbm = rng.gen_range(-10.0..16.02);
+            let gate = radio.interference_floor_range(tx_dbm);
+            max_gate = max_gate.max(gate);
+            let end = t + durations[lane];
+            flat.insert(lane, end, (pos, tx_dbm, gate * gate));
+            spatial.insert(lane, end, pos, (pos, tx_dbm, gate * gate));
+            if n_prunes > 0 && k % (n_frames / n_prunes + 1) == 0 {
+                let cutoff = t - rng.gen_range(0.0..0.005);
+                flat.prune(cutoff);
+                spatial.prune(cutoff);
+            }
+            prop_assert_eq!(flat.len(), spatial.len());
+        }
+
+        // interference sums at random receiver positions: iterate the
+        // flat window in insertion order vs the sorted spatial gather
+        let pl = radio.path_loss;
+        let floor = radio.rx_sensitivity_dbm - manet::radio::INTERFERENCE_FLOOR_DB;
+        let mut scratch: Vec<(u64, (Vec2, f64, f64))> = Vec::new();
+        for _ in 0..8 {
+            let rpos = Vec2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            let mut flat_sum = 0.0;
+            let mut flat_terms = 0u32;
+            for &(pos, tx_dbm, gate_r2) in flat.iter() {
+                let d2 = pos.distance_sq(rpos);
+                if d2 > gate_r2 {
+                    continue;
+                }
+                let rx = pl.rx_dbm(tx_dbm, d2.sqrt());
+                if rx >= floor {
+                    flat_sum += manet::radio::dbm_to_mw(rx);
+                    flat_terms += 1;
+                }
+            }
+            scratch.clear();
+            spatial.gather_into(rpos, max_gate + 1.0, &mut scratch);
+            scratch.sort_unstable_by_key(|&(seq, _)| seq);
+            let mut spatial_sum = 0.0;
+            let mut spatial_terms = 0u32;
+            for &(_, (pos, tx_dbm, gate_r2)) in &scratch {
+                let d2 = pos.distance_sq(rpos);
+                if d2 > gate_r2 {
+                    continue;
+                }
+                let rx = pl.rx_dbm(tx_dbm, d2.sqrt());
+                if rx >= floor {
+                    spatial_sum += manet::radio::dbm_to_mw(rx);
+                    spatial_terms += 1;
+                }
+            }
+            prop_assert_eq!(flat_terms, spatial_terms);
+            prop_assert!(
+                flat_sum.to_bits() == spatial_sum.to_bits(),
+                "interference sums must be bit-identical: {} vs {}",
+                flat_sum,
+                spatial_sum
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn delivery_modes_agree_with_receivers_at_exact_decode_range(
+        seed in 0u64..10_000,
+        n_ring in 3usize..10,
+        scale_idx in 0usize..5,
+    ) {
+        // Receivers placed *exactly* at the decode-threshold distance (and
+        // at ±1e-9 relative nudges — inside the log-free test's fallback
+        // band) from a stationary source: the sharpest inputs for the
+        // squared-distance decode compare. Every delivery mode must agree
+        // bit-for-bit on who decodes.
+        let scale = [1.0 - 1e-9, 1.0 - 1e-12, 1.0, 1.0 + 1e-12, 1.0 + 1e-9][scale_idx];
+        let mut c = SimConfig::paper(1 + n_ring, seed);
+        c.mobility = manet::mobility::MobilityModel::Stationary;
+        c.broadcast_time = 2.0;
+        c.end_time = 4.0;
+        let radio = c.radio;
+        let d_star = radio
+            .path_loss
+            .range_for(radio.default_tx_dbm, radio.rx_sensitivity_dbm);
+        let center = manet::geometry::Vec2::new(250.0, 250.0);
+        let mut pts = vec![center];
+        for k in 0..n_ring {
+            let theta = k as f64 / n_ring as f64 * std::f64::consts::TAU;
+            let p = center + manet::geometry::Vec2::from_angle(theta) * (d_star * scale);
+            pts.push(p);
+        }
+        prop_assume!(pts.iter().all(|p| c.field.contains(*p)));
+        c.placement = manet::sim::Placement::Explicit(pts);
+        let n = c.n_nodes;
+        let run = |mode: DeliveryMode| {
+            let mut sim = Simulator::new(c.clone(), Flooding::new(n, (0.0, 0.1)));
+            sim.set_delivery_mode(mode);
+            sim.run_to_end()
+        };
+        let inc = run(DeliveryMode::Incremental);
+        let reb = run(DeliveryMode::HorizonRebuild);
+        let naive = run(DeliveryMode::Naive);
+        prop_assert_eq!(&inc.broadcast, &reb.broadcast);
+        prop_assert_eq!(&inc.counters, &reb.counters);
+        prop_assert_eq!(&inc.broadcast, &naive.broadcast);
+        prop_assert_eq!(&inc.counters, &naive.counters);
+    }
 
     #[test]
     fn delivery_modes_agree_on_random_mobility_traces(

@@ -36,7 +36,7 @@ impl Probabilistic {
 impl Protocol for Probabilistic {
     fn on_start(&mut self, node: NodeId, api: &mut dyn ProtocolApi) {
         self.seen[node] = true;
-        let p = api.default_tx_dbm();
+        let p = api.node_tx_dbm(node);
         api.transmit(node, p);
     }
 
@@ -53,7 +53,7 @@ impl Protocol for Probabilistic {
     }
 
     fn on_timer(&mut self, node: NodeId, _tag: u64, api: &mut dyn ProtocolApi) {
-        let p = api.default_tx_dbm();
+        let p = api.node_tx_dbm(node);
         api.transmit(node, p);
     }
 }
@@ -94,7 +94,7 @@ impl Protocol for CounterBased {
     fn on_start(&mut self, node: NodeId, api: &mut dyn ProtocolApi) {
         self.state[node].seen = true;
         self.state[node].decided = true;
-        let p = api.default_tx_dbm();
+        let p = api.node_tx_dbm(node);
         api.transmit(node, p);
     }
 
@@ -118,7 +118,7 @@ impl Protocol for CounterBased {
         }
         st.decided = true;
         if st.count < threshold {
-            let p = api.default_tx_dbm();
+            let p = api.node_tx_dbm(node);
             api.transmit(node, p);
         }
     }
@@ -161,7 +161,7 @@ impl Protocol for DistanceBased {
     fn on_start(&mut self, node: NodeId, api: &mut dyn ProtocolApi) {
         self.state[node].seen = true;
         self.state[node].done = true;
-        let p = api.default_tx_dbm();
+        let p = api.node_tx_dbm(node);
         api.transmit(node, p);
     }
 
@@ -193,7 +193,7 @@ impl Protocol for DistanceBased {
         st.waiting = false;
         st.done = true;
         if st.pmin <= border {
-            let p = api.default_tx_dbm();
+            let p = api.node_tx_dbm(node);
             api.transmit(node, p);
         }
     }

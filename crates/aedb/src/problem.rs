@@ -353,21 +353,24 @@ impl AedbProblem {
     /// Simulates `params` on network `k` and returns its raw observables.
     /// Runs on a simulator checked out of the process-wide pool: after
     /// warm-up a simulation performs no heap allocation beyond the report.
+    /// Networks compile through the declarative [`Scenario::world`] path,
+    /// so heterogeneous dense scenarios (mixed mobility / power classes)
+    /// pose the tuning problem exactly like homogeneous ones.
     pub fn simulate_one(&self, params: AedbParams, k: usize) -> AedbOutcome {
-        let config = self.scenario.sim_config(k);
-        let n = config.n_nodes;
+        let world = self.scenario.world(k);
+        let n = world.n_nodes();
         // Bind the checkout first: `match SIM_POOL.lock().pop()` would
         // hold the guard across the arms and self-deadlock on the push.
         let checked_out = SIM_POOL.lock().pop();
         let report = match checked_out {
             Some(mut sim) => {
-                sim.reset_with(config, |p| p.reset(n, params));
+                sim.reset_world_with(&world, |p| p.reset(n, params));
                 let report = sim.run_to_end();
                 SIM_POOL.lock().push(sim);
                 report
             }
             None => {
-                let mut sim = Simulator::new(config, Aedb::new(n, params));
+                let mut sim = Simulator::from_world(&world, Aedb::new(n, params));
                 let report = sim.run_to_end();
                 SIM_POOL.lock().push(sim);
                 report
@@ -830,12 +833,13 @@ mod tests {
         use crate::scenario::DenseScenario;
         let dense = DenseScenario::new(200, 500);
         let x = AedbParams::default_config().to_vec();
-        let par = AedbProblem::paper(Scenario::dense(dense, 3));
+        let par = AedbProblem::paper(Scenario::dense(dense.clone(), 3));
         assert!(
             par.parallel_single_candidate(),
             "dense campaigns parallelise single candidates by default"
         );
-        let seq = AedbProblem::paper(Scenario::dense(dense, 3)).with_parallel_batches(false);
+        let seq =
+            AedbProblem::paper(Scenario::dense(dense.clone(), 3)).with_parallel_batches(false);
         assert!(
             !seq.parallel_single_candidate(),
             "repetition-sharded callers keep one layer of parallelism"

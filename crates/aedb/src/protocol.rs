@@ -22,10 +22,16 @@
 //!      dropping farther one-hop neighbours;
 //!    * **sparse** (otherwise): discard the node `m` was heard from and
 //!      reach the *furthest* remaining neighbour (weakest beacon);
-//!    * add the margin threshold and clamp to the default power.
+//!    * add the margin threshold and clamp to the node's power class
+//!      (the default power in the paper's homogeneous worlds).
 //! 4. Transmit `m` at the estimated power.
+//!
+//! Beacons carry their transmit power ([`NeighborEntry::tx_dbm`]), so the
+//! path-loss inference `tx − rx` stays exact when neighbours belong to
+//! different transmit-power classes (heterogeneous `WorldSpec` groups).
 
 use crate::params::AedbParams;
+use manet::neighbor::NeighborEntry;
 use manet::protocol::{Protocol, ProtocolApi};
 use manet::sim::NodeId;
 
@@ -50,7 +56,7 @@ pub struct Aedb {
     /// Scratch for the neighbour table of the node currently deciding —
     /// filled through [`ProtocolApi::neighbors_into`] so the per-forward
     /// power estimate allocates nothing after warm-up.
-    neighbor_scratch: Vec<manet::neighbor::NeighborEntry>,
+    neighbor_scratch: Vec<NeighborEntry>,
 }
 
 impl Aedb {
@@ -81,46 +87,55 @@ impl Aedb {
     /// 19–24 of Fig. 1. Exposed for unit tests.
     fn estimate_tx_power(&mut self, node: NodeId, api: &mut dyn ProtocolApi) -> f64 {
         let p = &self.params;
-        let default = api.default_tx_dbm();
+        // The node's own power class: the conservative fallback and the
+        // hard cap. Equals `default_tx_dbm` in the paper's homogeneous
+        // worlds; a low-power group caps lower.
+        let max_tx = api.node_tx_dbm(node);
         let sensitivity = api.rx_sensitivity_dbm();
         let neighbors = &mut self.neighbor_scratch;
         api.neighbors_into(node, neighbors);
-        // Required power to make a neighbour with beacon power `rx` decode
-        // us: the beacon's path loss is (default − rx), so we must emit at
-        // sensitivity + loss (+ margin).
-        let needed =
-            |beacon_rx_dbm: f64| sensitivity + (default - beacon_rx_dbm) + p.margin_threshold;
+        // Required power to make a neighbour decode us: each beacon
+        // carries its own transmit power, so `tx − rx` is that link's
+        // observed path loss (exact even across heterogeneous power
+        // classes) and we must emit at sensitivity + loss (+ margin).
+        let needed = |e: &NeighborEntry| sensitivity + (e.tx_dbm - e.rx_dbm) + p.margin_threshold;
         // The potential forwarders — live neighbours whose beacons arrive
         // at or below the border threshold — reduced in one pass (count +
         // strongest beacon) instead of collecting them.
         let mut n_potential = 0usize;
-        let mut strongest = f64::NEG_INFINITY;
+        let mut strongest: Option<&NeighborEntry> = None;
         for e in neighbors.iter().filter(|e| e.rx_dbm <= p.border_threshold) {
             n_potential += 1;
-            strongest = strongest.max(e.rx_dbm);
+            if strongest.is_none_or(|s| e.rx_dbm > s.rx_dbm) {
+                strongest = Some(e);
+            }
         }
         let tx = if n_potential as f64 > p.neighbors_threshold && n_potential > 0 {
             // Dense: reach only the forwarding-area node closest to the
             // border threshold (strongest beacon among the potential
             // forwarders).
-            needed(strongest)
+            needed(strongest.expect("n_potential > 0"))
         } else {
             // Sparse: keep connectivity — reach the furthest neighbour,
             // excluding the node we heard the message from.
             let heard = self.nodes[node].heard_from;
-            let weakest = neighbors
-                .iter()
-                .filter(|e| e.id != heard)
-                .map(|e| e.rx_dbm)
-                .fold(f64::INFINITY, f64::min);
-            if weakest.is_finite() {
-                needed(weakest)
-            } else {
+            let weakest = neighbors.iter().filter(|e| e.id != heard).fold(
+                None::<&NeighborEntry>,
+                |acc, e| {
+                    if acc.is_none_or(|w| e.rx_dbm < w.rx_dbm) {
+                        Some(e)
+                    } else {
+                        acc
+                    }
+                },
+            );
+            match weakest {
+                Some(w) => needed(w),
                 // No usable neighbour information: be conservative.
-                default
+                None => max_tx,
             }
         };
-        tx.min(default)
+        tx.min(max_tx)
     }
 }
 
@@ -181,7 +196,6 @@ impl Protocol for Aedb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use manet::neighbor::NeighborEntry;
 
     /// Scripted ProtocolApi for unit-testing the state machine without a
     /// full simulation.
@@ -211,6 +225,7 @@ mod tests {
                 .map(|&(id, rx_dbm)| NeighborEntry {
                     id,
                     rx_dbm,
+                    tx_dbm: 16.02,
                     last_seen: 0.0,
                 })
                 .collect();

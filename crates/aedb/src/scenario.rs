@@ -10,7 +10,14 @@ use manet::geometry::Field;
 use manet::mobility::MobilityModel;
 use manet::radio::RadioConfig;
 use manet::sim::SimConfig;
+use manet::world::WorldSpec;
 use serde::{Deserialize, Serialize};
+
+// The dense-scenario spec (and the scenario text grammar it shares with
+// every CLI) lives beside the `WorldSpec` API it compiles into; re-exported
+// here because the tuning problem and the bench harness historically
+// address it as `aedb::scenario::DenseScenario`.
+pub use manet::world::{DenseScenario, NodeGroup, SpecError};
 
 /// The three densities studied in the paper (devices per km²).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -64,129 +71,6 @@ impl Density {
 impl std::fmt::Display for Density {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{} dev/km²", self.per_km2())
-    }
-}
-
-/// A beyond-paper dense evaluation scenario: an areal density plus an
-/// explicit node count. The field grows so that `area = n_nodes / per_km2`,
-/// holding the density (and therefore the local connectivity structure)
-/// fixed while the network scales — the regime where the simulator's
-/// incremental spatial grid turns an O(n²) beacon interval into a
-/// near-O(n) one. Optional log-normal shadowing exercises the bounded-tail
-/// grid query (`manet::radio::SHADOW_TAIL_SIGMAS`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct DenseScenario {
-    /// Devices per square kilometre.
-    pub per_km2: u32,
-    /// Total devices.
-    pub n_nodes: usize,
-    /// Base seed; network `k` uses `base_seed + k`.
-    pub base_seed: u64,
-    /// Log-normal shadowing σ (dB); `0` disables it.
-    pub shadowing_sigma_db: f64,
-}
-
-impl DenseScenario {
-    /// Scale-up presets: paper densities, 10–20× the paper's node counts.
-    pub const PRESETS: [DenseScenario; 3] = [
-        DenseScenario {
-            per_km2: 200,
-            n_nodes: 500,
-            base_seed: 7_200_500,
-            shadowing_sigma_db: 0.0,
-        },
-        DenseScenario {
-            per_km2: 300,
-            n_nodes: 750,
-            base_seed: 7_300_750,
-            shadowing_sigma_db: 0.0,
-        },
-        DenseScenario {
-            per_km2: 400,
-            n_nodes: 1000,
-            base_seed: 7_401_000,
-            shadowing_sigma_db: 0.0,
-        },
-    ];
-
-    /// Extreme-scale presets (10⁴ nodes): the incremental-grid regime.
-    pub const XL_PRESETS: [DenseScenario; 2] = [
-        DenseScenario {
-            per_km2: 300,
-            n_nodes: 5_000,
-            base_seed: 7_305_000,
-            shadowing_sigma_db: 0.0,
-        },
-        DenseScenario {
-            per_km2: 400,
-            n_nodes: 10_000,
-            base_seed: 7_410_000,
-            shadowing_sigma_db: 0.0,
-        },
-    ];
-
-    /// Shadowed-dense presets: urban-like 4 dB log-normal shadowing at the
-    /// paper's middle density — the workload the bounded-tail grid query
-    /// exists for (it used to force the naive O(n²) scan).
-    pub const SHADOWED_PRESETS: [DenseScenario; 2] = [
-        DenseScenario {
-            per_km2: 200,
-            n_nodes: 1_000,
-            base_seed: 7_201_000,
-            shadowing_sigma_db: 4.0,
-        },
-        DenseScenario {
-            per_km2: 200,
-            n_nodes: 2_000,
-            base_seed: 7_202_000,
-            shadowing_sigma_db: 4.0,
-        },
-    ];
-
-    /// A scenario with the given density and node count (no shadowing).
-    pub fn new(per_km2: u32, n_nodes: usize) -> Self {
-        assert!(per_km2 > 0 && n_nodes > 0);
-        Self {
-            per_km2,
-            n_nodes,
-            base_seed: 7_000_000 + per_km2 as u64 * 10_000 + n_nodes as u64,
-            shadowing_sigma_db: 0.0,
-        }
-    }
-
-    /// The same scenario with log-normal shadowing of `sigma_db` enabled.
-    pub fn with_shadowing(mut self, sigma_db: f64) -> Self {
-        assert!(sigma_db >= 0.0 && sigma_db.is_finite());
-        self.shadowing_sigma_db = sigma_db;
-        self
-    }
-
-    /// The square field holding `n_nodes` at `per_km2` devices/km².
-    pub fn field(&self) -> Field {
-        let area_km2 = self.n_nodes as f64 / self.per_km2 as f64;
-        let side_m = (area_km2 * 1e6).sqrt();
-        Field::new(side_m, side_m)
-    }
-
-    /// Simulator configuration of network `k`: Table II's physical setup
-    /// (radio, mobility, timing — inherited from `SimConfig::paper` so the
-    /// scale experiments can never drift from the paper protocol) on the
-    /// scaled field, with the scenario's shadowing applied.
-    pub fn sim_config(&self, k: usize) -> SimConfig {
-        let mut c = SimConfig::paper(self.n_nodes, self.base_seed + k as u64);
-        c.field = self.field();
-        c.radio.shadowing_sigma_db = self.shadowing_sigma_db;
-        c
-    }
-}
-
-impl std::fmt::Display for DenseScenario {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} nodes @ {} dev/km²", self.n_nodes, self.per_km2)?;
-        if self.shadowing_sigma_db > 0.0 {
-            write!(f, " (σ={} dB)", self.shadowing_sigma_db)?;
-        }
-        Ok(())
     }
 }
 
@@ -263,10 +147,28 @@ impl Scenario {
         self.base_seed + k as u64
     }
 
+    /// Compiles evaluation network `k` into a [`WorldSpec`] — the single
+    /// path every evaluation takes into the simulator
+    /// (`Simulator::from_world`), covering heterogeneous dense scenarios
+    /// the flat [`sim_config`](Self::sim_config) cannot express. For
+    /// homogeneous scenarios the compiled world is exactly
+    /// `sim_config(k).to_world()`, so the tuning problem's networks are
+    /// bit-identical to the historical `SimConfig` pipeline.
+    pub fn world(&self, k: usize) -> WorldSpec {
+        if let Some(d) = &self.dense {
+            let mut w = d.world_spec(0);
+            w.seed = self.network_seed(k);
+            return w;
+        }
+        self.sim_config(k).to_world()
+    }
+
     /// The simulator configuration of evaluation network `k` — Table II
     /// verbatim (500 m field, random walk at [0,2] m/s with 20 s direction
     /// changes, 16.02 dBm default power, broadcast at 30 s, end at 40 s),
-    /// or the dense override's scaled field when one is set.
+    /// or the dense override's scaled field when one is set. Panics for
+    /// heterogeneous dense scenarios — those only compile through
+    /// [`world`](Self::world).
     pub fn sim_config(&self, k: usize) -> SimConfig {
         if let Some(d) = &self.dense {
             let mut c = d.sim_config(0);
@@ -366,7 +268,7 @@ mod tests {
     #[test]
     fn dense_scenario_posed_as_tuning_problem() {
         let d = DenseScenario::new(200, 500).with_shadowing(4.0);
-        let s = Scenario::dense(d, 4);
+        let s = Scenario::dense(d.clone(), 4);
         assert_eq!(s.n_networks, 4);
         assert_eq!(s.label(), d.to_string());
         let c = s.sim_config(2);

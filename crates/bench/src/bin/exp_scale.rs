@@ -4,19 +4,22 @@
 //! (the historical baseline) and the naive O(n²) scan — plus a batched
 //! AEDB evaluation posed directly on a dense scenario.
 //!
-//! Emits **`BENCH_scale.json`** (schema `bench-scale-v3`, documented in
+//! Emits **`BENCH_scale.json`** (schema `bench-scale-v4`, documented in
 //! [`bench_harness::scale`]) so the perf trajectory stays machine-readable
-//! across PRs: per row, wall time per delivery mode, the candidate-filter
-//! vs receive-outcome split of the query (from
-//! [`Simulator::query_profile`]) plus the interference-phase share of the
-//! incremental outcome, and the process's peak RSS high-water mark when
-//! the row finished. CI's perf-regression gate
-//! (`scripts/check_bench_regression.py`) compares the speedup columns of a
-//! fresh smoke run against the committed floors.
+//! across PRs: per row, the canonical scenario spec text, wall time per
+//! delivery mode, the candidate-filter vs receive-outcome split of the
+//! query (from [`Simulator::query_profile`]) plus the interference-phase
+//! share of the incremental outcome, and the process's peak RSS high-water
+//! mark when the row finished. A fixed **calibration workload** is timed
+//! first, so CI's perf-regression gate
+//! (`scripts/check_bench_regression.py`) can check *absolute* wall-time
+//! ceilings (normalised by the calibration run, robust to runner speed) on
+//! top of the speedup floors.
 //!
-//! Flags: `--dense 500@200,2000@200@4,10000@400` selects scenarios
-//! (`nodes@density[@shadowing_db]`), `--paper` runs all presets including
-//! the 10⁴-node and shadowed ones.
+//! Flags: `--dense 500@200,2000@200@4,10000@400` selects scenarios in the
+//! shared grammar (`nodes@density[@sigma]`, plus heterogeneous
+//! `+n[:still|:walkI|:rwpP][:POWERdbm]` groups), `--paper` runs all
+//! presets including the 10⁴-node and shadowed ones.
 use aedb::params::AedbParams;
 use aedb::scenario::DenseScenario;
 use bench_harness::scale::{peak_rss_bytes, ExperimentScale};
@@ -44,10 +47,12 @@ struct ModeRun {
 }
 
 fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
-    let cfg = d.sim_config(0);
-    let n = cfg.n_nodes;
-    let duration = cfg.end_time;
-    let mut sim = Simulator::new(cfg, Flooding::new(n, (0.0, 0.1)));
+    // Every scenario — homogeneous or heterogeneous — compiles through the
+    // declarative WorldSpec path.
+    let world = d.world_spec(0);
+    let n = world.n_nodes();
+    let duration = world.end_time;
+    let mut sim = Simulator::from_world(&world, Flooding::new(n, (0.0, 0.1)));
     sim.set_delivery_mode(mode);
     // Profiling samples two `Instant`s per delivery query in *every* mode,
     // so the overhead cancels out of the mode-vs-mode speedups.
@@ -75,6 +80,28 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// Wall time (s) of the fixed calibration workload: a full paper-protocol
+/// run of the 500-node 200 dev/km² preset on the incremental path,
+/// min-of-3 (the minimum is the robust estimator of the un-contended
+/// cost). Every row's absolute wall time is meaningful *relative to this
+/// number* — the gate divides by it, cancelling runner speed.
+fn calibration_seconds() -> f64 {
+    let world = DenseScenario::new(200, 500).world_spec(0);
+    let n = world.n_nodes();
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut sim = Simulator::from_world(&world, Flooding::new(n, (0.0, 0.1)));
+        // Profiling on, exactly like every measured row (`run_mode`), so
+        // the per-query `Instant` overhead cancels out of the
+        // row-over-calibration ratios the absolute gate checks.
+        sim.set_query_profiling(true);
+        let t0 = Instant::now();
+        let _ = sim.run_to_end();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
 fn main() {
     let mut scale = ExperimentScale::from_args();
     if scale.paper {
@@ -83,6 +110,8 @@ fn main() {
         dense.extend(DenseScenario::XL_PRESETS);
         scale.dense = dense;
     }
+    let calibration_s = calibration_seconds();
+    println!("calibration workload (500@200 full protocol, min of 3): {calibration_s:.3} s");
     println!("== dense-scenario simulation throughput: delivery modes compared ==");
     let mut t = Table::new(vec![
         "scenario",
@@ -121,7 +150,8 @@ fn main() {
         ]);
         json_scenarios.push(format!(
             concat!(
-                "    {{\"nodes\": {}, \"per_km2\": {}, \"shadowing_sigma_db\": {}, ",
+                "    {{\"spec\": \"{}\", ",
+                "\"nodes\": {}, \"per_km2\": {}, \"shadowing_sigma_db\": {}, ",
                 "\"beacons_per_sec\": {}, \"coverage\": {},\n",
                 "     \"incremental_s\": {}, \"rebuild_s\": {}, \"naive_s\": {},\n",
                 "     \"incremental_filter_s\": {}, \"incremental_outcome_s\": {},\n",
@@ -132,6 +162,7 @@ fn main() {
                 "     \"speedup_rebuild_over_incremental\": {}, ",
                 "\"speedup_naive_over_incremental\": {}}}"
             ),
+            d.spec_string(),
             d.n_nodes,
             d.per_km2,
             json_num(d.shadowing_sigma_db),
@@ -164,8 +195,8 @@ fn main() {
     let batch_json = {
         use aedb::scenario::Scenario;
         use mopt::problem::Problem;
-        let dense = scale.dense[0];
-        let scenario = Scenario::dense(dense, scale.networks.min(3));
+        let dense = scale.dense[0].clone();
+        let scenario = Scenario::dense(dense.clone(), scale.networks.min(3));
         let n_networks = scenario.n_networks;
         let problem = aedb::problem::AedbProblem::paper(scenario);
         let xs: Vec<Vec<f64>> = vec![
@@ -196,8 +227,15 @@ fn main() {
     };
 
     let json = format!(
-        "{{\n  \"schema\": \"bench-scale-v3\",\n  \"scenarios\": [\n{}\n  ],\n{batch_json}\n}}\n",
-        json_scenarios.join(",\n")
+        concat!(
+            "{{\n  \"schema\": \"bench-scale-v4\",\n",
+            "  \"calibration\": {{\"workload\": \"500@200 full protocol, min of 3\", ",
+            "\"seconds\": {}}},\n",
+            "  \"scenarios\": [\n{}\n  ],\n{}\n}}\n"
+        ),
+        json_num(calibration_s),
+        json_scenarios.join(",\n"),
+        batch_json
     );
     std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
     println!("\nwrote BENCH_scale.json ({} scenarios)", scale.dense.len());

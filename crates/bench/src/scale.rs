@@ -3,16 +3,21 @@
 //! [`DenseScenario`]s (hundreds of nodes) that the simulator's spatial
 //! grid makes tractable.
 //!
-//! # The `bench-scale-v3` artifact schema
+//! # The `bench-scale-v4` artifact schema
 //!
-//! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v3"`
+//! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v4"`
 //! so the performance trajectory stays machine-readable across PRs (and so
 //! CI can fail on regressions — see `scripts/check_bench_regression.py`).
-//! Per scenario row:
+//! A top-level `calibration` object records the wall time of a fixed
+//! reference workload (the 500@200 preset, full protocol, min-of-3)
+//! measured in the same job — **new in v4** — which turns per-row absolute
+//! wall times into runner-speed-independent ratios the regression gate can
+//! hold ceilings against. Per scenario row:
 //!
 //! | field | meaning |
 //! |---|---|
-//! | `nodes`, `per_km2`, `shadowing_sigma_db` | the [`DenseScenario`] |
+//! | `spec` | **new in v4**: the scenario in the canonical shared grammar ([`DenseScenario::spec_string`]) — also the row key the perf gate matches floors against |
+//! | `nodes`, `per_km2`, `shadowing_sigma_db` | the [`DenseScenario`] (nodes = total across groups) |
 //! | `beacons_per_sec`, `coverage` | workload sanity numbers (identical across modes, asserted in-run) |
 //! | `incremental_s`, `rebuild_s`, `naive_s` | end-to-end wall time per delivery mode (`naive_s` is `null` above the naive cap) |
 //! | `incremental_filter_s`, `incremental_outcome_s` | candidate-filter vs receive-outcome split of the incremental query (`Simulator::query_profile`) |
@@ -23,9 +28,11 @@
 //! | `speedup_rebuild_over_incremental`, `speedup_naive_over_incremental` | the headline ratios CI's perf gate checks against committed floors |
 //!
 //! The trailing `batched_eval` object records one batched AEDB evaluation
-//! posed directly on the first dense scenario. v2 → v3 added
-//! `incremental_interference_s` and the regression-gate contract; v1 → v2
-//! added the filter/outcome split and `peak_rss_bytes`.
+//! posed directly on the first dense scenario. v3 → v4 added `spec`, the
+//! `calibration` object and the absolute-ceiling gate contract; v2 → v3
+//! added `incremental_interference_s` and the regression-gate (speedup
+//! floor) contract; v1 → v2 added the filter/outcome split and
+//! `peak_rss_bytes`.
 
 use aedb::scenario::Density;
 
@@ -76,7 +83,7 @@ impl Default for ExperimentScale {
             densities: vec![Density::D100],
             paper: false,
             fast_samples: 129,
-            dense: vec![DenseScenario::PRESETS[0]],
+            dense: vec![DenseScenario::PRESETS[0].clone()],
         }
     }
 }
@@ -134,8 +141,10 @@ impl ExperimentScale {
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --paper | --reps N --evals N --networks N \
-                         --densities 100,200,300 --dense 500@200,2000@200@4 \
-                         (nodes@density[@shadowing_db]) --fast-samples N"
+                         --densities 100,200,300 \
+                         --dense 500@200,2000@200@4,500@200+50:still:10dbm \
+                         (nodes@density[@shadowing_db][+n[:still|:walkI|:rwpP][:POWERdbm]...]) \
+                         --fast-samples N"
                     );
                     std::process::exit(0);
                 }
@@ -158,37 +167,23 @@ fn expect_num<I: Iterator<Item = String>>(it: &mut I, flag: &str) -> u64 {
         .unwrap_or_else(|| panic!("{flag} needs a numeric value"))
 }
 
-/// Parses one `--dense` component: `nodes@density` with an optional
-/// `@shadowing_db` tail (e.g. `2000@200@4` = 2000 nodes at 200 dev/km²
-/// under 4 dB log-normal shadowing). Malformed specs — wrong component
-/// count (a trailing `@` included), empty or non-numeric components — are
-/// rejected with a usage error instead of being silently part-parsed.
+/// Parses one `--dense` component through the **shared scenario grammar**
+/// ([`DenseScenario::parse_spec`] in `manet::world`): the historical
+/// `nodes@density[@sigma]` form (e.g. `2000@200@4` = 2000 nodes at
+/// 200 dev/km² under 4 dB log-normal shadowing), optionally extended with
+/// heterogeneous `+n[:still|:walkI|:rwpP][:POWERdbm]` groups (e.g.
+/// `500@200+50:still:10dbm`). Malformed specs — wrong component counts (a
+/// trailing `@` included), empty or non-numeric fields, unknown modifiers
+/// — are rejected with a usage error instead of being silently
+/// part-parsed; the strictness (and its wording) lives in the one shared
+/// parser, this wrapper only keeps the bench usage message.
 fn parse_dense_spec(spec: &str) -> DenseScenario {
-    let usage = |detail: &str| -> ! {
-        panic!("--dense wants nodes@density[@sigma], got {spec:?}: {detail}")
-    };
-    let parts: Vec<&str> = spec.trim().split('@').collect();
-    if !(2..=3).contains(&parts.len()) {
-        usage("expected 2 or 3 @-separated components");
-    }
-    let nodes: usize = parts[0]
-        .trim()
-        .parse()
-        .unwrap_or_else(|_| usage("bad node count"));
-    let density: u32 = parts[1]
-        .trim()
-        .parse()
-        .unwrap_or_else(|_| usage("bad density"));
-    let d = DenseScenario::new(density, nodes);
-    match parts.get(2) {
-        None => d,
-        Some(sigma) => d.with_shadowing(
-            sigma
-                .trim()
-                .parse()
-                .unwrap_or_else(|_| usage("bad shadowing sigma")),
-        ),
-    }
+    DenseScenario::parse_spec(spec).unwrap_or_else(|e| {
+        panic!(
+            "--dense wants nodes@density[@sigma][+group...], got {:?}: {}",
+            e.spec, e.detail
+        )
+    })
 }
 
 #[cfg(test)]
@@ -301,6 +296,25 @@ mod tests {
     #[should_panic(expected = "bad shadowing sigma")]
     fn dense_flag_rejects_bad_sigma() {
         let _ = parse(&["--dense", "2000@200@x"]);
+    }
+
+    #[test]
+    fn dense_flag_parses_heterogeneous_groups() {
+        // The bench flag is a thin wrapper over the shared grammar: group
+        // syntax flows straight through to heterogeneous DenseScenarios.
+        let s = parse(&["--dense", "500@200+50:still:10dbm"]);
+        assert_eq!(s.dense.len(), 1);
+        let d = &s.dense[0];
+        assert_eq!(d.n_nodes, 550);
+        assert_eq!(d.groups.len(), 2);
+        assert_eq!(d.groups[1].tx_power_dbm, Some(10.0));
+        assert_eq!(d.spec_string(), "500@200+50:still:10dbm");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown group modifier")]
+    fn dense_flag_rejects_unknown_modifier() {
+        let _ = parse(&["--dense", "500@200+50:hover"]);
     }
 
     #[test]
@@ -434,7 +448,7 @@ mod tests {
         // preset wiring (field scaling, seeds, incremental default) works.
         use manet::protocol::Flooding;
         use manet::sim::Simulator;
-        let d = DenseScenario::XL_PRESETS[1];
+        let d = DenseScenario::XL_PRESETS[1].clone();
         assert_eq!(d.n_nodes, 10_000);
         let mut cfg = d.sim_config(0);
         cfg.broadcast_time = 0.5;

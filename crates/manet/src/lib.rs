@@ -22,6 +22,11 @@
 //!   query filters candidates against,
 //! * [`sim`] — the simulator proper: beaconing, half-duplex radios,
 //!   collision/capture modelling, timers and metric collection,
+//! * [`world`] — the declarative scenario API: a validated
+//!   [`WorldSpec`](world::WorldSpec) of heterogeneous node groups (per-group
+//!   mobility, placement and transmit-power class) that compiles into the
+//!   simulator through [`Simulator::from_world`](sim::Simulator::from_world),
+//!   plus the shared scenario text grammar,
 //! * [`metrics`] — per-broadcast metrics (coverage, energy, forwardings,
 //!   broadcast time) that form the objectives of the tuning problem.
 //!
@@ -41,6 +46,7 @@ pub mod radio;
 pub mod sim;
 pub mod snapshot;
 pub mod trace;
+pub mod world;
 
 pub use geometry::Vec2;
 pub use grid::GridStats;
@@ -48,3 +54,4 @@ pub use metrics::BroadcastMetrics;
 pub use protocol::{Protocol, ProtocolApi};
 pub use radio::{dbm_to_mw, mw_to_dbm, PathLoss, RadioConfig, SHADOW_TAIL_SIGMAS};
 pub use sim::{DeliveryMode, NodeId, SimConfig, Simulator};
+pub use world::{DenseScenario, GroupPlacement, NodeGroup, WorldSpec};

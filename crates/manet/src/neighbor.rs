@@ -15,6 +15,12 @@ pub struct NeighborEntry {
     pub id: NodeId,
     /// Received signal strength of its most recent beacon (dBm).
     pub rx_dbm: f64,
+    /// The power the beacon was *sent* at (dBm) — carried in the hello
+    /// frame, as a real cross-layer beacon would. `tx_dbm − rx_dbm` is the
+    /// link's observed path loss, exact even when neighbours belong to
+    /// different transmit-power classes (heterogeneous
+    /// [`WorldSpec`](crate::world::WorldSpec) groups).
+    pub tx_dbm: f64,
     /// Simulation time the beacon was received.
     pub last_seen: f64,
 }
@@ -22,7 +28,7 @@ pub struct NeighborEntry {
 /// A beacon-maintained neighbour table with age-based expiry.
 #[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
-    entries: HashMap<NodeId, (f64, f64)>, // id -> (rx_dbm, last_seen)
+    entries: HashMap<NodeId, (f64, f64, f64)>, // id -> (rx_dbm, tx_dbm, last_seen)
 }
 
 impl NeighborTable {
@@ -31,10 +37,10 @@ impl NeighborTable {
         Self::default()
     }
 
-    /// Records a beacon from `id` received at `rx_dbm` at time `now`.
-    /// Overwrites any previous reading.
-    pub fn observe(&mut self, id: NodeId, rx_dbm: f64, now: f64) {
-        self.entries.insert(id, (rx_dbm, now));
+    /// Records a beacon from `id` received at `rx_dbm` (sent at `tx_dbm`)
+    /// at time `now`. Overwrites any previous reading.
+    pub fn observe(&mut self, id: NodeId, rx_dbm: f64, tx_dbm: f64, now: f64) {
+        self.entries.insert(id, (rx_dbm, tx_dbm, now));
     }
 
     /// Removes `id` (e.g. when a node deliberately discards a neighbour).
@@ -66,10 +72,11 @@ impl NeighborTable {
         out.extend(
             self.entries
                 .iter()
-                .filter(|(_, &(_, seen))| now - seen <= expiry)
-                .map(|(&id, &(rx_dbm, last_seen))| NeighborEntry {
+                .filter(|(_, &(_, _, seen))| now - seen <= expiry)
+                .map(|(&id, &(rx_dbm, tx_dbm, last_seen))| NeighborEntry {
                     id,
                     rx_dbm,
+                    tx_dbm,
                     last_seen,
                 }),
         );
@@ -80,7 +87,7 @@ impl NeighborTable {
     /// Evicts entries older than `expiry`.
     pub fn sweep(&mut self, now: f64, expiry: f64) {
         self.entries
-            .retain(|_, &mut (_, seen)| now - seen <= expiry);
+            .retain(|_, &mut (_, _, seen)| now - seen <= expiry);
     }
 
     /// Total entries (including possibly stale ones).
@@ -101,8 +108,8 @@ mod tests {
     #[test]
     fn observe_and_query() {
         let mut t = NeighborTable::new();
-        t.observe(3, -70.0, 1.0);
-        t.observe(5, -80.0, 1.5);
+        t.observe(3, -70.0, 16.02, 1.0);
+        t.observe(5, -80.0, 16.02, 1.5);
         let live = t.live(2.0, 2.5);
         assert_eq!(live.len(), 2);
         assert_eq!(live[0].id, 3);
@@ -113,8 +120,8 @@ mod tests {
     #[test]
     fn newer_beacon_overwrites() {
         let mut t = NeighborTable::new();
-        t.observe(1, -70.0, 1.0);
-        t.observe(1, -75.0, 2.0);
+        t.observe(1, -70.0, 16.02, 1.0);
+        t.observe(1, -75.0, 16.02, 2.0);
         let live = t.live(2.0, 10.0);
         assert_eq!(live.len(), 1);
         assert_eq!(live[0].rx_dbm, -75.0);
@@ -124,8 +131,8 @@ mod tests {
     #[test]
     fn stale_entries_filtered() {
         let mut t = NeighborTable::new();
-        t.observe(1, -70.0, 0.0);
-        t.observe(2, -70.0, 9.0);
+        t.observe(1, -70.0, 16.02, 0.0);
+        t.observe(2, -70.0, 16.02, 9.0);
         let live = t.live(10.0, 2.5);
         assert_eq!(live.len(), 1);
         assert_eq!(live[0].id, 2);
@@ -137,7 +144,7 @@ mod tests {
     #[test]
     fn forget_removes() {
         let mut t = NeighborTable::new();
-        t.observe(7, -60.0, 0.0);
+        t.observe(7, -60.0, 16.02, 0.0);
         t.forget(7);
         assert!(t.is_empty());
         assert!(t.live(0.0, 10.0).is_empty());
@@ -147,7 +154,7 @@ mod tests {
     fn live_is_sorted_by_id() {
         let mut t = NeighborTable::new();
         for id in [9, 2, 7, 1, 5] {
-            t.observe(id, -50.0, 0.0);
+            t.observe(id, -50.0, 16.02, 0.0);
         }
         let ids: Vec<_> = t.live(0.0, 1.0).iter().map(|e| e.id).collect();
         assert_eq!(ids, vec![1, 2, 5, 7, 9]);

@@ -46,6 +46,17 @@ pub trait ProtocolApi {
     /// Default (maximum) transmit power in dBm — Table II: 16.02.
     fn default_tx_dbm(&self) -> f64;
 
+    /// The transmit-power class of `node` in dBm: what its beacons go out
+    /// at, and the natural full-power choice for its data frames. Equal to
+    /// [`default_tx_dbm`](Self::default_tx_dbm) in homogeneous worlds; in
+    /// heterogeneous [`WorldSpec`](crate::world::WorldSpec)s it is the
+    /// node's group override. The default implementation returns the
+    /// shared default so scripted test harnesses need not implement both.
+    fn node_tx_dbm(&self, node: NodeId) -> f64 {
+        let _ = node;
+        self.default_tx_dbm()
+    }
+
     /// Receiver sensitivity in dBm (minimum decodable power).
     fn rx_sensitivity_dbm(&self) -> f64;
 
@@ -67,8 +78,9 @@ pub trait Protocol {
 }
 
 /// Blind flooding: every node re-broadcasts the first copy it receives at
-/// full power. The classic broadcast-storm baseline (Ni et al. 1999) —
-/// useful as a sanity reference in examples and tests.
+/// its full power class ([`ProtocolApi::node_tx_dbm`]). The classic
+/// broadcast-storm baseline (Ni et al. 1999) — useful as a sanity
+/// reference in examples and tests.
 #[derive(Debug, Clone)]
 pub struct Flooding {
     seen: Vec<bool>,
@@ -92,7 +104,7 @@ impl Flooding {
 impl Protocol for Flooding {
     fn on_start(&mut self, node: NodeId, api: &mut dyn ProtocolApi) {
         self.seen[node] = true;
-        let p = api.default_tx_dbm();
+        let p = api.node_tx_dbm(node);
         api.transmit(node, p);
     }
 
@@ -110,13 +122,13 @@ impl Protocol for Flooding {
         if delay > 0.0 {
             api.set_timer(node, delay, 0);
         } else {
-            let p = api.default_tx_dbm();
+            let p = api.node_tx_dbm(node);
             api.transmit(node, p);
         }
     }
 
     fn on_timer(&mut self, node: NodeId, _tag: u64, api: &mut dyn ProtocolApi) {
-        let p = api.default_tx_dbm();
+        let p = api.node_tx_dbm(node);
         api.transmit(node, p);
     }
 }
@@ -128,7 +140,7 @@ pub struct SourceOnly;
 
 impl Protocol for SourceOnly {
     fn on_start(&mut self, node: NodeId, api: &mut dyn ProtocolApi) {
-        let p = api.default_tx_dbm();
+        let p = api.node_tx_dbm(node);
         api.transmit(node, p);
     }
     fn on_receive(&mut self, _: NodeId, _: NodeId, _: f64, _: &mut dyn ProtocolApi) {}

@@ -7,6 +7,13 @@
 //! walk and exchange beacons from `t = 0`; the broadcast starts at
 //! `t = 30 s` and the simulation ends at `t = 40 s`.
 //!
+//! Scenarios are described declaratively by a
+//! [`WorldSpec`](crate::world::WorldSpec) — possibly **heterogeneous**:
+//! several node groups with their own mobility model, placement, speed
+//! range and transmit-power class — and compile into the engine through
+//! [`Simulator::from_world`]; the flat [`SimConfig`] is a single-group
+//! adapter kept for the paper's homogeneous setups.
+//!
 //! ## Performance architecture — the incremental simulation core
 //!
 //! Delivery resolution — "who hears this frame?" — is the inner loop of
@@ -92,6 +99,7 @@ use crate::neighbor::{NeighborEntry, NeighborTable};
 use crate::protocol::{Protocol, ProtocolApi};
 use crate::radio::{dbm_to_mw, RadioConfig, INTERFERENCE_FLOOR_DB};
 use crate::snapshot::KinematicSnapshot;
+use crate::world::{GroupPlacement, WorldSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -140,7 +148,17 @@ pub enum DeliveryMode {
     Naive,
 }
 
-/// Complete configuration of one simulation run.
+/// Complete flat configuration of one *homogeneous* simulation run — the
+/// paper's shape: one mobility model, one speed range, one power class.
+///
+/// Internally the engine speaks the declarative
+/// [`WorldSpec`](crate::world::WorldSpec); `SimConfig` is a thin adapter
+/// over it ([`SimConfig::to_world`] lifts it into a single-group spec with
+/// identical RNG draw order, so the conversion is bit-exact).
+/// Heterogeneous scenarios — several node groups with their own mobility,
+/// placement and transmit-power class — are built with
+/// [`WorldSpec::builder`](crate::world::WorldSpec::builder) and run through
+/// [`Simulator::from_world`].
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// The simulation field.
@@ -308,7 +326,19 @@ pub struct QueryProfile {
 
 /// Simulator state visible to protocols through [`ProtocolApi`].
 struct World {
-    config: SimConfig,
+    /// The compiled scenario — the engine speaks [`WorldSpec`] natively;
+    /// [`SimConfig`] is a single-group adapter over it
+    /// ([`SimConfig::to_world`]).
+    spec: WorldSpec,
+    /// Total node count (cached sum over the spec's groups).
+    n_nodes: usize,
+    /// Per-node transmit-power class (dBm): the group's override or the
+    /// radio default — what beacons (and default-power data frames) are
+    /// sent at.
+    node_tx: Vec<f64>,
+    /// Worst-case node speed across all groups (cached), the bound behind
+    /// the horizon-rebuild staleness margin and the half-duplex reach.
+    max_speed: f64,
     queue: EventQueue<Event>,
     mobility: Vec<AnyMobility>,
     tables: Vec<NeighborTable>,
@@ -392,16 +422,20 @@ enum Reception {
 }
 
 impl World {
-    fn empty(config: SimConfig) -> Self {
-        let grid = SpatialGrid::new(config.field, grid_cell(&config.radio, config.field));
+    fn empty(spec: WorldSpec) -> Self {
+        let max_tx = spec.max_tx_dbm();
+        let grid = SpatialGrid::new(spec.field, grid_cell(&spec.radio, spec.field, max_tx));
         let frames = SpatialActiveWindow::new(
-            CellGeometry::new(config.field, frame_cell(&config.radio, config.field)),
+            CellGeometry::new(spec.field, frame_cell(&spec.radio, spec.field, max_tx)),
             2,
         );
-        let snapshot = KinematicSnapshot::new(config.field);
-        let metrics = BroadcastMetrics::new(config.source, config.broadcast_time);
+        let snapshot = KinematicSnapshot::new(spec.field);
+        let metrics = BroadcastMetrics::new(spec.source, spec.broadcast_time);
         let mut world = World {
-            config,
+            spec,
+            n_nodes: 0,
+            node_tx: Vec::new(),
+            max_speed: 0.0,
             queue: EventQueue::new(),
             mobility: Vec::new(),
             tables: Vec::new(),
@@ -430,34 +464,28 @@ impl World {
             profile_on: false,
             profile: QueryProfile::default(),
         };
-        let config = world.config.clone();
-        world.reset(config);
+        let spec = world.spec.clone();
+        world.reset(spec);
         world
     }
 
-    /// Re-arms the world for `config`, reusing every allocation: the event
+    /// Re-arms the world for `spec`, reusing every allocation: the event
     /// queue, mobility states, neighbour tables, the `recent` ring, the
     /// spatial grid and the scratch buffers all keep their capacity.
-    fn reset(&mut self, config: SimConfig) {
-        assert!(config.n_nodes >= 1, "need at least one node");
-        assert!(config.source < config.n_nodes, "source out of range");
-        assert!(config.end_time >= config.broadcast_time);
-        assert!(config.beacon_interval > 0.0);
-        if let Placement::Explicit(pts) = &config.placement {
-            assert_eq!(pts.len(), config.n_nodes, "placement size mismatch");
-            assert!(
-                pts.iter().all(|p| config.field.contains(*p)),
-                "placement outside field"
-            );
+    fn reset(&mut self, spec: WorldSpec) {
+        if let Err(e) = spec.validate() {
+            panic!("{e}");
         }
+        let n_nodes = spec.n_nodes();
+        let max_tx = spec.max_tx_dbm();
 
-        let cell = grid_cell(&config.radio, config.field);
-        if config.field != self.config.field || (cell - self.grid.cell_size()).abs() > 1e-12 {
-            self.grid = SpatialGrid::new(config.field, cell);
+        let cell = grid_cell(&spec.radio, spec.field, max_tx);
+        if spec.field != self.spec.field || (cell - self.grid.cell_size()).abs() > 1e-12 {
+            self.grid = SpatialGrid::new(spec.field, cell);
         }
         self.grid.reset_stats();
-        let fcell = frame_cell(&config.radio, config.field);
-        let fgeom = CellGeometry::new(config.field, fcell);
+        let fcell = frame_cell(&spec.radio, spec.field, max_tx);
+        let fgeom = CellGeometry::new(spec.field, fcell);
         if fgeom != self.frames.geometry() {
             // No frames are in flight at reset, so this is a pure
             // re-decomposition (the migration path is still exercised by
@@ -467,62 +495,73 @@ impl World {
         self.refresh_events = 0;
 
         self.queue.clear();
-        self.rng = SmallRng::seed_from_u64(config.seed);
+        self.rng = SmallRng::seed_from_u64(spec.seed);
         self.mobility.clear();
-        for node in 0..config.n_nodes {
-            let start = match &config.placement {
-                Placement::UniformRandom => Vec2::new(
-                    self.rng.gen_range(0.0..config.field.width),
-                    self.rng.gen_range(0.0..config.field.height),
-                ),
-                Placement::Explicit(pts) => pts[node],
-            };
-            let m = match config.mobility {
-                MobilityModel::RandomWalk { change_interval } => {
-                    AnyMobility::Walk(RandomWalk::new(
-                        config.field,
-                        start,
-                        config.speed_range,
-                        change_interval,
-                        0.0,
-                        &mut self.rng,
-                    ))
+        self.node_tx.clear();
+        let mut node = 0usize;
+        for group in &spec.groups {
+            let tx = group.tx_power_dbm.unwrap_or(spec.radio.default_tx_dbm);
+            for member in 0..group.n {
+                let start = match &group.placement {
+                    GroupPlacement::Uniform => Vec2::new(
+                        self.rng.gen_range(0.0..spec.field.width),
+                        self.rng.gen_range(0.0..spec.field.height),
+                    ),
+                    GroupPlacement::Rect { min, max } => Vec2::new(
+                        self.rng.gen_range(min.x..max.x),
+                        self.rng.gen_range(min.y..max.y),
+                    ),
+                    GroupPlacement::Explicit(pts) => pts[member],
+                };
+                let m = match group.mobility {
+                    MobilityModel::RandomWalk { change_interval } => {
+                        AnyMobility::Walk(RandomWalk::new(
+                            spec.field,
+                            start,
+                            group.speed_range,
+                            change_interval,
+                            0.0,
+                            &mut self.rng,
+                        ))
+                    }
+                    MobilityModel::RandomWaypoint { pause } => {
+                        AnyMobility::Waypoint(RandomWaypoint::new(
+                            spec.field,
+                            start,
+                            (group.speed_range.0.max(0.1), group.speed_range.1.max(0.2)),
+                            pause,
+                            0.0,
+                            &mut self.rng,
+                        ))
+                    }
+                    MobilityModel::Stationary => AnyMobility::Still(Stationary { pos: start }),
+                };
+                if m.next_change().is_finite() {
+                    self.queue
+                        .schedule(m.next_change(), Event::MobilityChange(node));
                 }
-                MobilityModel::RandomWaypoint { pause } => {
-                    AnyMobility::Waypoint(RandomWaypoint::new(
-                        config.field,
-                        start,
-                        (config.speed_range.0.max(0.1), config.speed_range.1.max(0.2)),
-                        pause,
-                        0.0,
-                        &mut self.rng,
-                    ))
-                }
-                MobilityModel::Stationary => AnyMobility::Still(Stationary { pos: start }),
-            };
-            if m.next_change().is_finite() {
-                self.queue
-                    .schedule(m.next_change(), Event::MobilityChange(node));
+                self.mobility.push(m);
+                self.node_tx.push(tx);
+                // Desynchronised beacon phases.
+                let offset = self.rng.gen_range(0.0..spec.beacon_interval);
+                self.queue.schedule(offset, Event::Beacon(node));
+                node += 1;
             }
-            self.mobility.push(m);
-            // Desynchronised beacon phases.
-            let offset = self.rng.gen_range(0.0..config.beacon_interval);
-            self.queue.schedule(offset, Event::Beacon(node));
         }
         self.queue
-            .schedule(config.broadcast_time, Event::StartBroadcast(config.source));
+            .schedule(spec.broadcast_time, Event::StartBroadcast(spec.source));
 
-        if self.tables.len() > config.n_nodes {
-            self.tables.truncate(config.n_nodes);
+        if self.tables.len() > n_nodes {
+            self.tables.truncate(n_nodes);
         }
         for t in &mut self.tables {
             t.clear();
         }
-        self.tables.resize_with(config.n_nodes, NeighborTable::new);
+        self.tables.resize_with(n_nodes, NeighborTable::new);
 
         self.active.clear();
         self.frames.clear();
-        self.metrics.reset(config.source, config.broadcast_time);
+        self.metrics.reset(spec.source, spec.broadcast_time);
         self.counters = SimCounters::default();
         self.broadcast_started = false;
         self.candidate_scratch.clear();
@@ -534,16 +573,18 @@ impl World {
         // Worst-case drift between a receiver and its own frozen frame
         // position over any possible frame overlap (two full on-air
         // durations), plus a metre of slack — see `hd_reach`'s field docs.
-        let max_duration = config.radio.beacon_duration.max(config.radio.data_duration);
-        self.capture_ratio_mw = dbm_to_mw(config.radio.capture_db);
+        let max_duration = spec.radio.beacon_duration.max(spec.radio.data_duration);
+        self.capture_ratio_mw = dbm_to_mw(spec.radio.capture_db);
         self.shadow_val.clear();
-        self.shadow_val.resize(config.n_nodes, 0.0);
+        self.shadow_val.resize(n_nodes, 0.0);
         self.shadow_stamp.clear();
-        self.shadow_stamp.resize(config.n_nodes, 0);
+        self.shadow_stamp.resize(n_nodes, 0);
         self.shadow_epoch = 0;
         self.profile = QueryProfile::default();
-        self.config = config;
-        self.hd_reach = self.max_speed() * 2.0 * max_duration + 1.0;
+        self.max_speed = spec.max_speed();
+        self.n_nodes = n_nodes;
+        self.spec = spec;
+        self.hd_reach = self.max_speed * 2.0 * max_duration + 1.0;
 
         // Initial placement of the spatial index (the first "rebuild" of
         // either grid discipline) and of the SoA kinematic snapshot, then
@@ -551,11 +592,11 @@ impl World {
         // mode-independent — it depends only on mobility and cell
         // geometry — so every DeliveryMode processes an identical event
         // stream and parity comparisons are exact.
-        let n = self.config.n_nodes;
+        let n = self.n_nodes;
         let mobility = &self.mobility;
         self.grid.rebuild(n, 0.0, |i| mobility[i].position(0.0));
         self.snapshot
-            .rebuild(self.config.field, mobility.iter().map(|m| m.segment()));
+            .rebuild(self.spec.field, mobility.iter().map(|m| m.segment()));
         self.refresh_gen.clear();
         self.refresh_gen.resize(n, 0);
         for node in 0..n {
@@ -619,25 +660,16 @@ impl World {
         self.mobility[node].position(t)
     }
 
-    /// Worst-case speed bound used for the grid staleness margin.
-    fn max_speed(&self) -> f64 {
-        // RandomWaypoint clamps its speed range up to at least 0.2 m/s.
-        match self.config.mobility {
-            MobilityModel::RandomWaypoint { .. } => self.config.speed_range.1.max(0.2),
-            _ => self.config.speed_range.1,
-        }
-    }
-
     fn start_transmission(&mut self, node: NodeId, tx_dbm: f64, kind: FrameKind) {
         let now = self.queue.now();
         let duration = match kind {
-            FrameKind::Beacon => self.config.radio.beacon_duration,
-            FrameKind::Data => self.config.radio.data_duration,
+            FrameKind::Beacon => self.spec.radio.beacon_duration,
+            FrameKind::Data => self.spec.radio.data_duration,
         };
         // Amortise the interference gate over every query this frame will
         // ever appear in: one `range_for` here instead of a `log10` per
         // (candidate × active frame) in the delivery loop.
-        let radio = &self.config.radio;
+        let radio = &self.spec.radio;
         let gate = radio.interference_floor_range(tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON;
         // Log-free decode/floor bands (exact-threshold distances with the
         // dB-domain comparison reproduced at precompute time): three
@@ -678,11 +710,11 @@ impl World {
     /// and capture rules — shared verbatim by the grid-indexed and naive
     /// paths, which therefore cannot diverge.
     fn receive_outcome(&self, tx: &Transmission, r: NodeId) -> Reception {
-        let pl = self.config.radio.path_loss;
-        let sens = self.config.radio.rx_sensitivity_dbm;
-        let capture_ratio = dbm_to_mw(self.config.radio.capture_db);
-        let sigma = self.config.radio.shadowing_sigma_db;
-        let seed = self.config.seed;
+        let pl = self.spec.radio.path_loss;
+        let sens = self.spec.radio.rx_sensitivity_dbm;
+        let capture_ratio = dbm_to_mw(self.spec.radio.capture_db);
+        let sigma = self.spec.radio.shadowing_sigma_db;
+        let seed = self.spec.seed;
         // Receiver position sampled at frame end (= now): frames last
         // milliseconds while nodes move at ≤ 2 m/s, so start-vs-end
         // sampling differs by millimetres — but `now` is always ahead
@@ -740,7 +772,7 @@ impl World {
     /// the bounded-tail decode range (shadowing gain truncated at `+4σ`)
     /// inflated against floating-point rounding at the exact boundary.
     fn decode_radius(&self, tx: &Transmission) -> f64 {
-        self.config.radio.max_decode_range(tx.tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON
+        self.spec.radio.max_decode_range(tx.tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON
     }
 
     /// Successful receivers of `tx` under propagation, half-duplex and
@@ -838,10 +870,10 @@ impl World {
             .gather_into(tx.pos, r + self.max_gate_r.max(self.hd_reach), &mut frames);
         frames.sort_unstable_by_key(|&(seq, _)| seq);
 
-        let pl = self.config.radio.path_loss;
-        let sens = self.config.radio.rx_sensitivity_dbm;
-        let sigma = self.config.radio.shadowing_sigma_db;
-        let seed = self.config.seed;
+        let pl = self.spec.radio.path_loss;
+        let sens = self.spec.radio.rx_sensitivity_dbm;
+        let sigma = self.spec.radio.shadowing_sigma_db;
+        let seed = self.spec.seed;
 
         // Pass 1 — decode. `rx = NaN` marks a deferred received power (the
         // certain-decode fast path never evaluated the `log10`).
@@ -971,18 +1003,18 @@ impl World {
         let mut candidates = std::mem::take(&mut self.candidate_scratch);
         candidates.clear();
         match self.mode {
-            DeliveryMode::Naive => candidates.extend(0..self.config.n_nodes),
+            DeliveryMode::Naive => candidates.extend(0..self.n_nodes),
             DeliveryMode::HorizonRebuild => {
                 let t = tx.end;
                 if t - self.grid.built_at() > GRID_REBUILD_HORIZON {
                     let mobility = &self.mobility;
                     self.grid
-                        .rebuild(self.config.n_nodes, t, |i| mobility[i].position(t));
+                        .rebuild(self.n_nodes, t, |i| mobility[i].position(t));
                 }
                 // A node bucketed at the last rebuild can have drifted at
                 // most v_max · staleness from its stored position.
                 let staleness = (t - self.grid.built_at()).max(0.0);
-                let radius = self.decode_radius(tx) + self.max_speed() * staleness;
+                let radius = self.decode_radius(tx) + self.max_speed * staleness;
                 self.grid.candidates_within(tx.pos, radius, &mut candidates);
             }
             DeliveryMode::Incremental => unreachable!("handled by the snapshot path"),
@@ -1079,12 +1111,15 @@ where
 }
 
 /// Cell edge for the spatialised active window: the interference gating
-/// reach at the default transmit power (shadowing tail included), clamped
-/// to the field diagonal. Frames matter out to roughly this distance, so
-/// one-reach cells keep a query's gather to a small constant block of
-/// buckets while still pruning far-away bursts.
-fn frame_cell(radio: &RadioConfig, field: Field) -> f64 {
-    let reach = radio.interference_floor_range(radio.default_tx_dbm);
+/// reach at the world's *largest* transmit-power class (shadowing tail
+/// included), clamped to the field diagonal. Frames matter out to roughly
+/// this distance, so one-reach cells keep a query's gather to a small
+/// constant block of buckets while still pruning far-away bursts; sizing
+/// by the largest class keeps that true for every group of a
+/// heterogeneous world (cell size is a perf heuristic only — queries pass
+/// their own exact radii).
+fn frame_cell(radio: &RadioConfig, field: Field, max_tx_dbm: f64) -> f64 {
+    let reach = radio.interference_floor_range(max_tx_dbm);
     let diag = (field.width * field.width + field.height * field.height).sqrt();
     if reach.is_finite() && reach > 1.0 {
         reach.min(diag)
@@ -1094,13 +1129,14 @@ fn frame_cell(radio: &RadioConfig, field: Field) -> f64 {
 }
 
 /// Cell edge for the spatial grid: a [`GRID_CELL_DIVISOR`]-th of the
-/// maximum radio range (default power at receiver sensitivity), clamped
-/// to the field diagonal so degenerate radio configurations cannot create
-/// absurd cell counts.
-fn grid_cell(radio: &RadioConfig, field: Field) -> f64 {
+/// maximum radio range (the largest power class of the world at receiver
+/// sensitivity — per-group powers only shrink individual query discs, see
+/// [`frame_cell`]), clamped to the field diagonal so degenerate radio
+/// configurations cannot create absurd cell counts.
+fn grid_cell(radio: &RadioConfig, field: Field, max_tx_dbm: f64) -> f64 {
     let range = radio
         .path_loss
-        .range_for(radio.default_tx_dbm, radio.rx_sensitivity_dbm);
+        .range_for(max_tx_dbm, radio.rx_sensitivity_dbm);
     let diag = (field.width * field.width + field.height * field.height).sqrt();
     if range.is_finite() && range > 1.0 {
         (range / GRID_CELL_DIVISOR).min(diag)
@@ -1123,19 +1159,23 @@ impl ProtocolApi for World {
     }
 
     fn neighbors(&self, node: NodeId) -> Vec<NeighborEntry> {
-        self.tables[node].live(self.queue.now(), self.config.neighbor_expiry)
+        self.tables[node].live(self.queue.now(), self.spec.neighbor_expiry)
     }
 
     fn neighbors_into(&self, node: NodeId, out: &mut Vec<NeighborEntry>) {
-        self.tables[node].live_into(self.queue.now(), self.config.neighbor_expiry, out);
+        self.tables[node].live_into(self.queue.now(), self.spec.neighbor_expiry, out);
     }
 
     fn default_tx_dbm(&self) -> f64 {
-        self.config.radio.default_tx_dbm
+        self.spec.radio.default_tx_dbm
+    }
+
+    fn node_tx_dbm(&self, node: NodeId) -> f64 {
+        self.node_tx[node]
     }
 
     fn rx_sensitivity_dbm(&self) -> f64 {
-        self.config.radio.rx_sensitivity_dbm
+        self.spec.radio.rx_sensitivity_dbm
     }
 
     fn rand(&mut self) -> f64 {
@@ -1155,19 +1195,44 @@ pub struct Simulator<P: Protocol> {
 }
 
 impl<P: Protocol> Simulator<P> {
-    /// Builds the simulator: places nodes, seeds mobility and schedules the
-    /// initial beacon/mobility/broadcast events.
+    /// Builds the simulator from a flat [`SimConfig`] — a thin adapter
+    /// over [`from_world`](Self::from_world) through
+    /// [`SimConfig::to_world`], kept for the homogeneous scenarios the
+    /// paper evaluates.
     pub fn new(config: SimConfig, protocol: P) -> Self {
+        let spec = config.to_world();
         Self {
-            world: World::empty(config),
+            world: World::empty(spec),
             protocol,
         }
     }
 
+    /// Builds the simulator from a declarative [`WorldSpec`]: places every
+    /// group's nodes, seeds their mobility models, resolves per-group
+    /// transmit-power classes and schedules the initial
+    /// beacon/mobility/broadcast events. The single compilation path every
+    /// scenario surface funnels through (`SimConfig`, dense scenarios, the
+    /// text grammar).
+    ///
+    /// Panics with the spec's [`WorldError`](crate::world::WorldError)
+    /// message when the spec is invalid; call
+    /// [`WorldSpec::validate`] first to handle errors gracefully.
+    pub fn from_world(spec: &WorldSpec, protocol: P) -> Self {
+        let mut sim = Self {
+            world: World::empty(spec.clone()),
+            protocol,
+        };
+        sim.world.mode = spec.delivery_mode;
+        sim
+    }
+
     /// Re-arms the simulator for a new run, replacing the protocol state
-    /// and reusing every internal allocation.
+    /// and reusing every internal allocation. The currently selected
+    /// [`DeliveryMode`] is kept (the historical contract of the
+    /// `SimConfig` surface); [`reset_world`](Self::reset_world) applies
+    /// the spec's mode instead.
     pub fn reset(&mut self, config: SimConfig, protocol: P) {
-        self.world.reset(config);
+        self.world.reset(config.to_world());
         self.protocol = protocol;
     }
 
@@ -1175,7 +1240,23 @@ impl<P: Protocol> Simulator<P> {
     /// place through `rearm` instead of replacing it — protocols with
     /// per-node buffers (e.g. AEDB) avoid reallocating them every run.
     pub fn reset_with<F: FnOnce(&mut P)>(&mut self, config: SimConfig, rearm: F) {
-        self.world.reset(config);
+        self.world.reset(config.to_world());
+        rearm(&mut self.protocol);
+    }
+
+    /// Re-arms the simulator for a [`WorldSpec`], replacing the protocol
+    /// and applying the spec's [`DeliveryMode`].
+    pub fn reset_world(&mut self, spec: &WorldSpec, protocol: P) {
+        self.world.reset(spec.clone());
+        self.world.mode = spec.delivery_mode;
+        self.protocol = protocol;
+    }
+
+    /// Like [`reset_world`](Self::reset_world), but re-arms the existing
+    /// protocol in place through `rearm`.
+    pub fn reset_world_with<F: FnOnce(&mut P)>(&mut self, spec: &WorldSpec, rearm: F) {
+        self.world.reset(spec.clone());
+        self.world.mode = spec.delivery_mode;
         rearm(&mut self.protocol);
     }
 
@@ -1247,11 +1328,11 @@ impl<P: Protocol> Simulator<P> {
     /// Runs to `end_time` and returns the report, keeping the simulator
     /// alive for a subsequent [`reset`](Self::reset).
     pub fn run_to_end(&mut self) -> SimReport {
-        self.run_until(self.world.config.end_time);
+        self.run_until(self.world.spec.end_time);
         SimReport {
             broadcast: self.world.metrics.clone(),
             counters: self.world.counters.clone(),
-            n_nodes: self.world.config.n_nodes,
+            n_nodes: self.world.n_nodes,
         }
     }
 
@@ -1280,14 +1361,13 @@ impl<P: Protocol> Simulator<P> {
     fn dispatch(&mut self, ev: Event) {
         match ev {
             Event::Beacon(node) => {
-                self.world.start_transmission(
-                    node,
-                    self.world.config.radio.default_tx_dbm,
-                    FrameKind::Beacon,
-                );
+                // Beacons go out at the node's power *class* (per-group in
+                // heterogeneous worlds; the radio default otherwise).
+                self.world
+                    .start_transmission(node, self.world.node_tx[node], FrameKind::Beacon);
                 // Re-arm with ±5 % jitter so persistent phase collisions
                 // cannot lock in (there is no CSMA in this model).
-                let base = self.world.config.beacon_interval;
+                let base = self.world.spec.beacon_interval;
                 let jitter = base * (0.95 + 0.1 * self.world.rng.gen::<f64>());
                 self.world.queue.schedule_in(jitter, Event::Beacon(node));
             }
@@ -1311,7 +1391,7 @@ impl<P: Protocol> Simulator<P> {
                         let now = self.world.queue.now();
                         self.world.counters.beacons_received += deliveries.len() as u64;
                         for &(r, rx_dbm) in &deliveries {
-                            self.world.tables[r].observe(tx.sender, rx_dbm, now);
+                            self.world.tables[r].observe(tx.sender, rx_dbm, tx.tx_dbm, now);
                         }
                     }
                     FrameKind::Data => {
@@ -1652,12 +1732,8 @@ mod tests {
             let (_, ev) = world.queue.pop().unwrap();
             match ev {
                 Event::Beacon(node) => {
-                    world.start_transmission(
-                        node,
-                        world.config.radio.default_tx_dbm,
-                        FrameKind::Beacon,
-                    );
-                    let base = world.config.beacon_interval;
+                    world.start_transmission(node, world.node_tx[node], FrameKind::Beacon);
+                    let base = world.spec.beacon_interval;
                     world.queue.schedule_in(base, Event::Beacon(node));
                 }
                 Event::TxEnd(tx) => {
@@ -1666,7 +1742,7 @@ mod tests {
                     let now = world.queue.now();
                     if tx.kind == FrameKind::Beacon {
                         for &(r, rx) in &ds {
-                            world.tables[r].observe(tx.sender, rx, now);
+                            world.tables[r].observe(tx.sender, rx, tx.tx_dbm, now);
                         }
                     }
                 }
@@ -1688,7 +1764,7 @@ mod tests {
         assert!(neigh.len() >= 45, "only {} neighbors known", neigh.len());
         // received powers must be decodable and ordered fields sane
         for e in &neigh {
-            assert!(e.rx_dbm >= world.config.radio.rx_sensitivity_dbm);
+            assert!(e.rx_dbm >= world.spec.radio.rx_sensitivity_dbm);
             assert!(e.last_seen <= world.queue.now());
         }
     }

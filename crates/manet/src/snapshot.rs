@@ -8,10 +8,12 @@
 //! dispatch plus a pointer chase into a ~100-byte mobility struct per
 //! candidate — a cache miss each at 10⁴ nodes. The snapshot instead keeps
 //! one flat lane per segment field ([`Vec2`] origins, [`Vec2`]
-//! velocities/displacements, `f64` segment starts and arrival times), so
-//! the candidate filter touches a handful of densely packed arrays with a
-//! single, perfectly predicted branch on the [`SegmentKind`] per query
-//! batch.
+//! velocities/displacements, `f64` segment starts and arrival times, plus
+//! a [`SegmentKind`] discriminant lane for heterogeneous worlds), so the
+//! candidate filter touches a handful of densely packed arrays with a
+//! single branch on the kind per candidate — perfectly predicted whenever
+//! a world (or a spatial neighbourhood of it) is dominated by one
+//! mobility model.
 //!
 //! Since the log-free receive-outcome rewrite, the squared distances this
 //! filter computes are not just a pre-filter input but the *decode test
@@ -38,13 +40,16 @@
 use crate::geometry::{Field, Vec2};
 use crate::mobility::{KinematicSegment, SegmentKind};
 
-/// Flat per-node segment lanes (see the module docs). All nodes must share
-/// one [`SegmentKind`] — the simulator instantiates a single mobility
-/// model per run, and a uniform kind is what keeps position evaluation
-/// branch-light.
+/// Flat per-node segment lanes (see the module docs). The
+/// [`SegmentKind`] discriminant is itself a lane: heterogeneous worlds
+/// ([`crate::world::WorldSpec`]) mix mobility models across node groups,
+/// so each node carries its own kind. For the homogeneous worlds the
+/// paper evaluates, every entry of the kind lane is identical and the
+/// per-candidate branch stays perfectly predicted — the historical
+/// single-kind fast path in all but name.
 #[derive(Debug, Clone)]
 pub struct KinematicSnapshot {
-    kind: SegmentKind,
+    kinds: Vec<SegmentKind>,
     field: Field,
     origin: Vec<Vec2>,
     velocity: Vec<Vec2>,
@@ -58,7 +63,7 @@ impl KinematicSnapshot {
     /// before querying.
     pub fn new(field: Field) -> Self {
         Self {
-            kind: SegmentKind::Still,
+            kinds: Vec::new(),
             field,
             origin: Vec::new(),
             velocity: Vec::new(),
@@ -78,42 +83,35 @@ impl KinematicSnapshot {
         self.origin.is_empty()
     }
 
-    /// The uniform segment kind of the captured nodes.
-    pub fn kind(&self) -> SegmentKind {
-        self.kind
+    /// The segment kind of node `i`.
+    pub fn kind_of(&self, i: usize) -> SegmentKind {
+        self.kinds[i]
     }
 
     /// Re-captures every node's segment, reusing the lane allocations.
-    /// All segments must share one [`SegmentKind`].
+    /// Kinds may differ per node (heterogeneous worlds).
     pub fn rebuild<I: IntoIterator<Item = KinematicSegment>>(&mut self, field: Field, segs: I) {
         self.field = field;
+        self.kinds.clear();
         self.origin.clear();
         self.velocity.clear();
         self.t0.clear();
         self.arrival.clear();
         self.dest.clear();
-        let mut kind = None;
         for s in segs {
-            match kind {
-                None => kind = Some(s.kind),
-                Some(k) => assert_eq!(k, s.kind, "snapshot requires a uniform segment kind"),
-            }
+            self.kinds.push(s.kind);
             self.origin.push(s.origin);
             self.velocity.push(s.velocity);
             self.t0.push(s.t0);
             self.arrival.push(s.arrival);
             self.dest.push(s.dest);
         }
-        self.kind = kind.unwrap_or(SegmentKind::Still);
     }
 
     /// O(1) refresh of node `i`'s lanes after its mobility segment changed
     /// (a waypoint arrival, a random-walk re-draw).
     pub fn set(&mut self, i: usize, s: KinematicSegment) {
-        assert_eq!(
-            s.kind, self.kind,
-            "snapshot requires a uniform segment kind"
-        );
+        self.kinds[i] = s.kind;
         self.origin[i] = s.origin;
         self.velocity[i] = s.velocity;
         self.t0[i] = s.t0;
@@ -124,7 +122,7 @@ impl KinematicSnapshot {
     /// The segment lanes of node `i`, reassembled (tests/diagnostics).
     pub fn segment(&self, i: usize) -> KinematicSegment {
         KinematicSegment {
-            kind: self.kind,
+            kind: self.kinds[i],
             origin: self.origin[i],
             velocity: self.velocity[i],
             t0: self.t0[i],
@@ -139,7 +137,7 @@ impl KinematicSnapshot {
     /// [`Mobility::position`]: crate::mobility::Mobility::position
     #[inline]
     pub fn position(&self, i: usize, t: f64) -> Vec2 {
-        match self.kind {
+        match self.kinds[i] {
             SegmentKind::Walk => {
                 let dt = (t - self.t0[i]).max(0.0);
                 self.field.reflect(self.origin[i] + self.velocity[i] * dt)
@@ -254,7 +252,7 @@ mod tests {
             }),
         ];
         let snap = capture(&ms);
-        assert_eq!(snap.kind(), SegmentKind::Still);
+        assert_eq!(snap.kind_of(0), SegmentKind::Still);
         assert_eq!(snap.position(0, 0.0), Vec2::new(1.0, 2.0));
         assert_eq!(snap.position(0, 1e6), Vec2::new(1.0, 2.0));
         assert_eq!(snap.position(1, 40.0), ms[1].position(40.0));
@@ -284,20 +282,45 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "uniform segment kind")]
-    fn mixed_kinds_rejected() {
+    fn mixed_kinds_evaluate_bit_identically() {
+        // Heterogeneous worlds put different mobility models side by side
+        // in one snapshot; every node must still evaluate exactly its own
+        // model's arithmetic.
         let mut rng = SmallRng::seed_from_u64(4);
-        let ms = vec![
+        let mut ms = vec![
             AnyMobility::Still(Stationary { pos: Vec2::ZERO }),
             AnyMobility::Walk(RandomWalk::new(
                 field(),
                 Vec2::new(1.0, 1.0),
-                (0.0, 2.0),
-                20.0,
+                (0.5, 2.0),
+                4.0,
+                0.0,
+                &mut rng,
+            )),
+            AnyMobility::Waypoint(RandomWaypoint::new(
+                field(),
+                Vec2::new(200.0, 100.0),
+                (0.5, 2.0),
+                1.0,
                 0.0,
                 &mut rng,
             )),
         ];
-        let _ = capture(&ms);
+        let mut snap = capture(&ms);
+        assert_eq!(snap.kind_of(0), SegmentKind::Still);
+        assert_eq!(snap.kind_of(1), SegmentKind::Walk);
+        assert_eq!(snap.kind_of(2), SegmentKind::Waypoint);
+        let mut t = 0.0;
+        for _ in 0..40 {
+            t += 0.83;
+            for (i, m) in ms.iter_mut().enumerate() {
+                while m.next_change() <= t {
+                    m.advance(&mut rng);
+                    snap.set(i, m.segment());
+                }
+                assert_eq!(snap.position(i, t), m.position(t), "node {i} t {t}");
+                assert_eq!(snap.segment(i), m.segment(), "node {i}");
+            }
+        }
     }
 }

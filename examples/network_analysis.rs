@@ -15,18 +15,19 @@ fn main() {
         let scenario = Scenario::quick(density, 3);
         println!("== {density} ==");
         for k in 0..scenario.n_networks {
-            // Snapshot the topology at broadcast time (t = 30 s).
-            let cfg = scenario.sim_config(k);
-            let radio = cfg.radio;
-            let mut sim = Simulator::new(cfg, SourceOnly);
+            // Snapshot the topology at broadcast time (t = 30 s); the
+            // scenario compiles through the declarative WorldSpec path.
+            let world = scenario.world(k);
+            let radio = world.radio;
+            let mut sim = Simulator::from_world(&world, SourceOnly);
             sim.run_until(30.0);
             let pos = sim.positions_at(30.0);
             let stats = connectivity_stats(&pos, &radio);
 
             // Run AEDB (hand-tuned) on the same network.
-            let cfg = scenario.sim_config(k);
-            let n = cfg.n_nodes;
-            let report = Simulator::new(cfg, Aedb::new(n, AedbParams::default_config())).run();
+            let n = world.n_nodes();
+            let report =
+                Simulator::from_world(&world, Aedb::new(n, AedbParams::default_config())).run();
 
             println!(
                 "  network {k}: degree {:5.2} | components {} | source-component {:2} \

@@ -4,13 +4,23 @@ committed floors in scripts/perf_floors.json.
 
 Usage: check_bench_regression.py [BENCH_PATH] [FLOORS_PATH]
 
-Each floor names a scenario (`nodes@density[@sigma]`, matching the
-`--dense` spec that produced the row) and a speedup metric. The gate fails
-when the fresh value is missing, null, or more than `tolerance`
-(fractional, e.g. 0.10 = 10%) below the floor — so a PR that slows the
-incremental delivery path relative to its baselines fails CI instead of
-silently eroding the headline numbers. Values above the floor print the
-headroom, which is the cue to raise the floor after a durable win.
+Two kinds of checks:
+
+* **Speedup floors** (`floors`): each names a scenario (the canonical
+  `--dense` spec text that produced the row) and a speedup metric. The
+  gate fails when the fresh value is missing, null, or more than
+  `tolerance` (fractional, e.g. 0.10 = 10%) below the floor — so a PR that
+  slows the incremental delivery path relative to its baselines fails CI
+  instead of silently eroding the headline numbers.
+* **Absolute ceilings** (`absolute_ceilings`): speedup ratios are blind to
+  a *uniform* slowdown (both modes 2x slower = same ratio). Each ceiling
+  bounds `row[metric] / calibration.seconds` — the row's wall time in
+  units of the fixed calibration workload measured in the same job
+  (schema v4), which cancels runner speed. The gate fails when the
+  normalised time exceeds `ceiling * (1 + absolute_tolerance)`.
+
+Values inside their bound print the headroom, which is the cue to tighten
+the bound after a durable win.
 """
 
 import json
@@ -23,6 +33,10 @@ def fail(msg):
 
 
 def row_key(row):
+    # v4 rows carry their canonical spec text; reconstruct it for older
+    # artifacts so floors keep matching either way.
+    if row.get("spec"):
+        return row["spec"]
     sigma = row.get("shadowing_sigma_db") or 0.0
     key = f"{row['nodes']}@{row['per_km2']}"
     if sigma > 0.0:
@@ -64,9 +78,43 @@ def main(argv):
                 f"{scenario}: {metric} {value:.3f} fell below {cutoff:.3f} "
                 f"(floor {floor:.3f} - {tolerance:.0%} tolerance)"
             )
+    ceilings = floors.get("absolute_ceilings", [])
+    if ceilings:
+        cal = (bench.get("calibration") or {}).get("seconds")
+        if not cal or cal <= 0:
+            failures.append(
+                "absolute ceilings configured but calibration.seconds is "
+                f"missing/invalid in {bench_path} (schema v4 required)"
+            )
+        else:
+            abs_tol = float(floors.get("absolute_tolerance", 0.0))
+            for c in ceilings:
+                scenario, metric = c["scenario"], c["metric"]
+                ceiling = float(c["ceiling"])
+                row = rows.get(scenario)
+                if row is None:
+                    failures.append(f"scenario {scenario} missing from {bench_path}")
+                    continue
+                value = row.get(metric)
+                if value is None:
+                    failures.append(f"{scenario}: metric {metric} is null/missing")
+                    continue
+                ratio = value / cal
+                cutoff = ceiling * (1.0 + abs_tol)
+                verdict = "OK" if ratio <= cutoff else "REGRESSED"
+                print(
+                    f"check_bench_regression: {scenario} {metric} = {value:.3f}s "
+                    f"= {ratio:.2f}x calibration (ceiling {ceiling:.2f}x, "
+                    f"cutoff {cutoff:.2f}x) {verdict}"
+                )
+                if ratio > cutoff:
+                    failures.append(
+                        f"{scenario}: {metric} {ratio:.2f}x calibration exceeded "
+                        f"{cutoff:.2f}x (ceiling {ceiling:.2f}x + {abs_tol:.0%} tolerance)"
+                    )
     if failures:
         fail("; ".join(failures))
-    print("check_bench_regression: all floors held")
+    print("check_bench_regression: all floors and ceilings held")
 
 
 if __name__ == "__main__":

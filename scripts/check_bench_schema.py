@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_scale.json artifact against the bench-scale-v3 schema.
+"""Validate a BENCH_scale.json artifact against the bench-scale-v4 schema.
 
 Usage: check_bench_schema.py [PATH] [--rows N]
 
 PATH defaults to BENCH_scale.json in the current directory. --rows asserts
 the exact scenario-row count (CI passes the count its smoke run produces).
 
-The v3 schema is documented in crates/bench/src/scale.rs. Beyond key
+The v4 schema is documented in crates/bench/src/scale.rs. Beyond key
 presence, the structural invariants checked here are the ones a broken
 profiler or a half-written emitter would violate:
 
+  * the calibration workload has a positive wall time;
+  * every row's `spec` is a non-empty scenario-grammar string whose head
+    matches the row's nodes/density columns for homogeneous rows;
   * filter + outcome query time cannot exceed the mode's end-to-end time;
   * the interference phase is a sub-interval of the outcome phase;
   * the recorded speedup columns must equal the wall-time ratios they
@@ -20,6 +23,7 @@ import json
 import sys
 
 REQUIRED = [
+    "spec",
     "nodes",
     "per_km2",
     "shadowing_sigma_db",
@@ -61,8 +65,13 @@ def main(argv):
     except (OSError, ValueError) as e:
         fail(f"cannot read {path}: {e}")
 
-    if d.get("schema") != "bench-scale-v3":
-        fail(f"schema is {d.get('schema')!r}, want 'bench-scale-v3'")
+    if d.get("schema") != "bench-scale-v4":
+        fail(f"schema is {d.get('schema')!r}, want 'bench-scale-v4'")
+    cal = d.get("calibration")
+    if not isinstance(cal, dict) or not isinstance(cal.get("seconds"), (int, float)):
+        fail("missing calibration object with numeric 'seconds'")
+    if cal["seconds"] <= 0:
+        fail(f"calibration seconds must be positive, got {cal['seconds']}")
     scenarios = d.get("scenarios")
     if not isinstance(scenarios, list) or not scenarios:
         fail("scenarios must be a non-empty list")
@@ -74,6 +83,11 @@ def main(argv):
         for key in REQUIRED:
             if key not in row:
                 fail(f"row {name}: missing key {key!r}")
+        spec = row["spec"]
+        if not isinstance(spec, str) or not spec:
+            fail(f"row {name}: spec must be a non-empty string")
+        if "+" not in spec and not spec.startswith(f"{row['nodes']}@{row['per_km2']}"):
+            fail(f"row {name}: spec {spec!r} disagrees with nodes/per_km2 columns")
         if row["incremental_filter_s"] + row["incremental_outcome_s"] > row["incremental_s"]:
             fail(f"row {name}: incremental query split exceeds end-to-end time")
         if row["incremental_interference_s"] > row["incremental_outcome_s"]:
@@ -92,7 +106,7 @@ def main(argv):
 
     if "batched_eval" not in d:
         fail("missing batched_eval object")
-    print(f"check_bench_schema: OK ({len(scenarios)} rows, schema bench-scale-v3)")
+    print(f"check_bench_schema: OK ({len(scenarios)} rows, schema bench-scale-v4)")
 
 
 if __name__ == "__main__":

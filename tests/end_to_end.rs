@@ -155,3 +155,36 @@ fn wilcoxon_on_real_indicator_samples() {
         assert!((0.0..=1.0).contains(&t.p_value));
     }
 }
+
+#[test]
+fn tuning_problem_poses_heterogeneous_worlds() {
+    // A heterogeneous dense scenario (mixed mobility + a low-power
+    // stationary backbone, straight from the shared text grammar) flows
+    // through the whole evaluation pipeline: Scenario::world →
+    // Simulator::from_world → AedbProblem::evaluate. Deterministic, and
+    // distinct from the homogeneous scenario of the same size.
+    use manet::mobility::MobilityModel;
+
+    let dense = DenseScenario::parse_spec("60@200+8:still:10dbm").expect("valid spec");
+    assert_eq!(dense.n_nodes, 68);
+    let scenario = Scenario::dense(dense.clone(), 2);
+    let world = scenario.world(1);
+    assert_eq!(world.n_nodes(), 68);
+    assert_eq!(world.groups[1].mobility, MobilityModel::Stationary);
+    assert_eq!(world.groups[1].tx_power_dbm, Some(10.0));
+
+    let problem = AedbProblem::paper(scenario).with_eval_cache(false);
+    let x = AedbParams::default_config().to_vec();
+    let a = problem.evaluate(&x);
+    let b = problem.evaluate(&x);
+    assert_eq!(a, b, "heterogeneous evaluation must be deterministic");
+    assert!(-a.objectives[1] > 0.0, "broadcast reached nobody");
+
+    let homogeneous =
+        AedbProblem::paper(Scenario::dense(DenseScenario::new(200, 68), 2)).with_eval_cache(false);
+    assert_ne!(
+        a,
+        homogeneous.evaluate(&x),
+        "groups must change the posed problem"
+    );
+}

@@ -503,3 +503,105 @@ proptest! {
         prop_assert_eq!(&inc.counters, &naive.counters);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn heterogeneous_worlds_agree_across_delivery_modes(
+        seed in 0u64..10_000,
+        n_walk in 8usize..24,
+        n_other in 2usize..10,
+        other_kind in 0usize..2,
+        power_idx in 0usize..3,
+        field_side in 250.0f64..600.0,
+    ) {
+        // The WorldSpec tentpole guarantee: heterogeneous populations —
+        // mixed mobility models AND two radio power classes in one world —
+        // keep all three delivery paths bit-identical. Per-group powers
+        // flow through the per-transmission threshold precomputation and
+        // per-node mobility through the snapshot's kind lane, so nothing
+        // in the parity argument is mode-specific.
+        use manet::mobility::MobilityModel;
+        use manet::world::{NodeGroup, WorldSpec};
+        let other_mobility = [
+            MobilityModel::Stationary,
+            MobilityModel::RandomWaypoint { pause: 1.0 },
+        ][other_kind];
+        let other_power = [10.0, 5.0, 16.02][power_idx];
+        let run = |mode: DeliveryMode| {
+            let spec = WorldSpec::builder()
+                .area(field_side, field_side)
+                .seed(seed)
+                .group(NodeGroup::new(n_walk).mobility(MobilityModel::RandomWalk {
+                    change_interval: 5.0,
+                }))
+                .group(
+                    NodeGroup::new(n_other)
+                        .mobility(other_mobility)
+                        .tx_power_dbm(other_power),
+                )
+                // Shortened protocol: enough beaconing to build neighbour
+                // tables, then the broadcast.
+                .broadcast_window(3.0, 6.0)
+                .delivery_mode(mode)
+                .build()
+                .expect("valid spec");
+            let n = spec.n_nodes();
+            Simulator::from_world(&spec, Flooding::new(n, (0.0, 0.1))).run()
+        };
+        let inc = run(DeliveryMode::Incremental);
+        let reb = run(DeliveryMode::HorizonRebuild);
+        let naive = run(DeliveryMode::Naive);
+        prop_assert_eq!(&inc.broadcast, &reb.broadcast);
+        prop_assert_eq!(&inc.counters, &reb.counters);
+        prop_assert_eq!(&inc.broadcast, &naive.broadcast);
+        prop_assert_eq!(&inc.counters, &naive.counters);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scenario_grammar_round_trips(
+        head_n in 1usize..5_000,
+        per_km2 in 1u32..800,
+        sigma_idx in 0usize..4,
+        tail_count in 0usize..3,
+        tail_ns in prop::collection::vec(1usize..500, 2),
+        tail_mobs in prop::collection::vec(0usize..5, 2),
+        tail_ps in prop::collection::vec(0usize..4, 2),
+    ) {
+        // parse(format(spec)) == spec over the grammar-expressible space:
+        // arbitrary head density/sigma plus up to two extra groups with
+        // random mobility modifiers and power classes.
+        use manet::mobility::MobilityModel;
+        use manet::world::NodeGroup;
+        let sigma = [0.0, 2.5, 4.0, 6.25][sigma_idx];
+        let mut d = DenseScenario::new(per_km2, head_n);
+        if sigma > 0.0 {
+            d = d.with_shadowing(sigma);
+        }
+        for i in 0..tail_count {
+            let (n, mob_idx, p_idx) = (tail_ns[i], tail_mobs[i], tail_ps[i]);
+            let mut g = NodeGroup::new(n).mobility(match mob_idx {
+                0 => MobilityModel::RandomWalk { change_interval: 20.0 },
+                1 => MobilityModel::RandomWalk { change_interval: 7.5 },
+                2 => MobilityModel::RandomWaypoint { pause: 0.0 },
+                3 => MobilityModel::RandomWaypoint { pause: 3.25 },
+                _ => MobilityModel::Stationary,
+            });
+            if let Some(p) = [None, Some(10.0), Some(0.25), Some(-3.5)][p_idx] {
+                g = g.tx_power_dbm(p);
+            }
+            d = d.with_group(g);
+        }
+        let text = d.spec_string();
+        let parsed = DenseScenario::parse_spec(&text)
+            .expect("canonical spec text must parse");
+        prop_assert_eq!(&parsed, &d);
+        // formatting is canonical: a second trip is a fixed point
+        prop_assert_eq!(parsed.spec_string(), text);
+    }
+}

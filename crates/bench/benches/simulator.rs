@@ -211,7 +211,7 @@ fn bench_candidate_filter(c: &mut Criterion) {
             let mut total = 0usize;
             for &center in &centers {
                 out.clear();
-                grid.for_each_in_cells(center, radius + 0.1, |i| {
+                grid.for_each_in_cells(center, radius + manet::GRID_BUCKET_SLACK_M, |i| {
                     let p = snap.position(i, t);
                     let d2 = p.distance_sq(center);
                     if d2 <= r2 {
@@ -230,7 +230,9 @@ fn bench_candidate_filter(c: &mut Criterion) {
             let mut total = 0usize;
             for &center in &centers {
                 out.clear();
-                grid.for_each_in_cells(center, radius + 0.1, |i| out.push(i));
+                grid.for_each_in_cells(center, radius + manet::GRID_BUCKET_SLACK_M, |i| {
+                    out.push(i)
+                });
                 out.retain(|&i| mobility[i].position(t).distance_sq(center) <= r2);
                 out.sort_unstable();
                 total += out.len();
@@ -255,6 +257,104 @@ fn bench_candidate_filter(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR-7 tentpole in isolation: the batched lane sweep
+/// ([`manet::DeliverySweep`]) against the scalar per-candidate filter it
+/// replaced, over one large walk-mobility world at the XL density
+/// (400 dev/km²). Both paths answer the same query over the same grid and
+/// snapshot — bit-identical survivors — so the ratio is pure filter
+/// mechanics: gather layout, chunked kernels and event-horizon culling.
+fn bench_lane_sweep(c: &mut Criterion) {
+    use manet::geometry::{Field, Vec2};
+    use manet::grid::SpatialGrid;
+    use manet::mobility::{AnyMobility, Mobility, RandomWalk};
+    use manet::snapshot::KinematicSnapshot;
+    use manet::DeliverySweep;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut g = c.benchmark_group("lane_sweep");
+    g.sample_size(20);
+    let n = 10_000usize;
+    let side = ((n as f64 / 400.0) * 1e6).sqrt(); // 400 dev/km²
+    let field = Field::new(side, side);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mobility: Vec<AnyMobility> = (0..n)
+        .map(|_| {
+            let start = Vec2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            AnyMobility::Walk(RandomWalk::new(
+                field,
+                start,
+                (0.0, 2.0),
+                20.0,
+                0.0,
+                &mut rng,
+            ))
+        })
+        .collect();
+    let scenario_cfg = aedb::scenario::DenseScenario::new(400, n).sim_config(0);
+    let radius = scenario_cfg.radio.default_range();
+    let cell = {
+        let mut probe = scenario_cfg;
+        probe.n_nodes = 1;
+        probe.source = 0;
+        Simulator::new(probe, manet::protocol::SourceOnly).grid_cell_size()
+    };
+    let mut grid = SpatialGrid::new(field, cell);
+    grid.rebuild(n, 0.0, |i| mobility[i].position(0.0));
+    let mut snap = KinematicSnapshot::new(field);
+    snap.rebuild(field, mobility.iter().map(|m| m.segment()));
+    // Same staleness argument as `candidate_filter`: buckets from t = 0
+    // stay exact-within-slack at this query time.
+    let t = 0.05;
+    let centers: Vec<Vec2> = (0..256)
+        .map(|_| Vec2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+        .collect();
+    let r2 = radius * radius;
+
+    g.bench_function("scalar", |b| {
+        let mut out: Vec<(usize, Vec2, f64)> = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &center in &centers {
+                out.clear();
+                grid.for_each_in_cells(center, radius + manet::GRID_BUCKET_SLACK_M, |i| {
+                    let p = snap.position(i, t);
+                    let d2 = p.distance_sq(center);
+                    if d2 <= r2 {
+                        out.push((i, p, d2));
+                    }
+                });
+                out.sort_unstable_by_key(|&(i, _, _)| i);
+                total += out.len();
+            }
+            black_box(total)
+        });
+    });
+    g.bench_function("batched", |b| {
+        let mut sweep = DeliverySweep::new();
+        sweep.reset(grid.geometry().n_cells(), n);
+        let mut out: Vec<(usize, Vec2, f64)> = Vec::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for &center in &centers {
+                out.clear();
+                sweep.filter_into(
+                    &grid,
+                    &snap,
+                    center,
+                    t,
+                    radius,
+                    manet::GRID_BUCKET_SLACK_M,
+                    &mut out,
+                );
+                total += out.len();
+            }
+            black_box(total)
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_simulation,
@@ -262,6 +362,7 @@ criterion_group!(
     bench_flooding_baseline,
     bench_deliveries_grid_vs_naive,
     bench_grid_modes,
-    bench_candidate_filter
+    bench_candidate_filter,
+    bench_lane_sweep
 );
 criterion_main!(benches);

@@ -1,31 +1,36 @@
 //! Beyond-paper scale experiment: simulation throughput on the dense
-//! scenarios (hundreds to 10⁴ nodes, optionally shadowed) across the three
+//! scenarios (hundreds to 10⁵ nodes, optionally shadowed) across the three
 //! delivery paths — incremental grid (default), horizon-rebuild grid
 //! (the historical baseline) and the naive O(n²) scan — plus a batched
 //! AEDB evaluation posed directly on a dense scenario.
 //!
-//! Emits **`BENCH_scale.json`** (schema `bench-scale-v4`, documented in
-//! [`bench_harness::scale`]) so the perf trajectory stays machine-readable
-//! across PRs: per row, the canonical scenario spec text, wall time per
-//! delivery mode, the candidate-filter vs receive-outcome split of the
-//! query (from [`Simulator::query_profile`]) plus the interference-phase
-//! share of the incremental outcome, and the process's peak RSS high-water
+//! Emits **`BENCH_scale.json`** (schema `bench-scale-v5`, documented and
+//! rendered in [`bench_harness::scale`] — this binary only fills in
+//! [`ScaleRow`]s) so the perf trajectory stays machine-readable across
+//! PRs: per row, the canonical scenario spec text, wall time per delivery
+//! mode (fastest of five identical runs below the 10⁵-node ceiling row,
+//! which is single-shot), the candidate-filter vs receive-outcome split
+//! of the query (from
+//! [`Simulator::query_profile`]) plus the interference-phase share of the
+//! incremental outcome, the batched sweep's work counters
+//! ([`Simulator::sweep_stats`]) and the process's peak RSS high-water
 //! mark when the row finished. A fixed **calibration workload** is timed
 //! first, so CI's perf-regression gate
 //! (`scripts/check_bench_regression.py`) can check *absolute* wall-time
-//! ceilings (normalised by the calibration run, robust to runner speed) on
-//! top of the speedup floors.
+//! ceilings (normalised by the calibration run, robust to runner speed)
+//! on top of the speedup floors.
 //!
 //! Flags: `--dense 500@200,2000@200@4,10000@400` selects scenarios in the
 //! shared grammar (`nodes@density[@sigma]`, plus heterogeneous
 //! `+n[:still|:walkI|:rwpP][:POWERdbm]` groups), `--paper` runs all
-//! presets including the 10⁴-node and shadowed ones.
+//! presets including the 10⁴/10⁵-node and shadowed ones.
 use aedb::params::AedbParams;
 use aedb::scenario::DenseScenario;
-use bench_harness::scale::{peak_rss_bytes, ExperimentScale};
+use bench_harness::scale::{peak_rss_bytes, BatchedEval, ExperimentScale, ScaleArtifact, ScaleRow};
 use bench_harness::tables::{f, Table};
 use manet::protocol::Flooding;
 use manet::sim::{DeliveryMode, Simulator};
+use manet::SweepStats;
 use std::time::Instant;
 
 /// Above this node count the naive O(n²) baseline is skipped — it would
@@ -44,9 +49,39 @@ struct ModeRun {
     /// Interference-resolution share of `outcome_s` (incremental only;
     /// the historical paths keep their verbatim single-loop shape).
     interference_s: f64,
+    /// Batched-sweep work counters (all zero outside incremental mode,
+    /// which is the only path that sweeps).
+    sweep: SweepStats,
 }
 
+/// Rows at or above this node count are measured single-shot — tripling
+/// a minutes-long rebuild baseline would dominate the whole experiment
+/// for one row's noise margin.
+const SINGLE_SHOT_NODES: usize = 50_000;
+
+/// Measure one delivery mode on one scenario, keeping the fastest of a
+/// few identical runs. Wall times bounce with host contention; the
+/// minimum is the robust estimator of the un-contended cost (the same
+/// reasoning as [`calibration_seconds`]). The runs are deterministic
+/// (same seed), so the kept run's coverage/profile/counters are the
+/// row's values, not a mix.
 fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
+    let reps = if d.n_nodes >= SINGLE_SHOT_NODES { 1 } else { 5 };
+    let mut best: Option<ModeRun> = None;
+    for _ in 0..reps {
+        let r = run_mode_once(d, mode);
+        let faster = match &best {
+            None => true,
+            Some(b) => r.seconds < b.seconds,
+        };
+        if faster {
+            best = Some(r);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
+fn run_mode_once(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
     // Every scenario — homogeneous or heterogeneous — compiles through the
     // declarative WorldSpec path.
     let world = d.world_spec(0);
@@ -69,14 +104,7 @@ fn run_mode(d: &DenseScenario, mode: DeliveryMode) -> ModeRun {
         filter_s: profile.filter_s,
         outcome_s: profile.outcome_s,
         interference_s: profile.interference_s,
-    }
-}
-
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".into()
+        sweep: sim.sweep_stats(),
     }
 }
 
@@ -121,9 +149,10 @@ fn main() {
         "rebuild (s)",
         "naive (s)",
         "inc/reb ops",
+        "cull/visit cells",
         "coverage",
     ]);
-    let mut json_scenarios: Vec<String> = Vec::new();
+    let mut rows: Vec<ScaleRow> = Vec::new();
     for d in &scale.dense {
         let inc = run_mode(d, DeliveryMode::Incremental);
         let reb = run_mode(d, DeliveryMode::HorizonRebuild);
@@ -146,53 +175,36 @@ fn main() {
             f(reb.seconds, 3),
             naive.as_ref().map_or("-".into(), |n| f(n.seconds, 3)),
             format!("{}/{}", inc.bucket_ops, reb.bucket_ops),
+            format!("{}/{}", inc.sweep.cells_culled, inc.sweep.cells_visited),
             inc.coverage.to_string(),
         ]);
-        json_scenarios.push(format!(
-            concat!(
-                "    {{\"spec\": \"{}\", ",
-                "\"nodes\": {}, \"per_km2\": {}, \"shadowing_sigma_db\": {}, ",
-                "\"beacons_per_sec\": {}, \"coverage\": {},\n",
-                "     \"incremental_s\": {}, \"rebuild_s\": {}, \"naive_s\": {},\n",
-                "     \"incremental_filter_s\": {}, \"incremental_outcome_s\": {},\n",
-                "     \"incremental_interference_s\": {},\n",
-                "     \"rebuild_filter_s\": {}, \"rebuild_outcome_s\": {},\n",
-                "     \"incremental_bucket_ops\": {}, \"rebuild_bucket_ops\": {},\n",
-                "     \"peak_rss_bytes\": {},\n",
-                "     \"speedup_rebuild_over_incremental\": {}, ",
-                "\"speedup_naive_over_incremental\": {}}}"
-            ),
-            d.spec_string(),
-            d.n_nodes,
-            d.per_km2,
-            json_num(d.shadowing_sigma_db),
-            json_num(inc.beacons_per_sec),
-            inc.coverage,
-            json_num(inc.seconds),
-            json_num(reb.seconds),
-            naive
-                .as_ref()
-                .map_or("null".into(), |n| json_num(n.seconds)),
-            json_num(inc.filter_s),
-            json_num(inc.outcome_s),
-            json_num(inc.interference_s),
-            json_num(reb.filter_s),
-            json_num(reb.outcome_s),
-            inc.bucket_ops,
-            reb.bucket_ops,
-            peak_rss_bytes().map_or("null".into(), |b| b.to_string()),
-            json_num(reb.seconds / inc.seconds),
-            naive
-                .as_ref()
-                .map_or("null".into(), |n| json_num(n.seconds / inc.seconds)),
-        ));
+        rows.push(ScaleRow {
+            spec: d.spec_string(),
+            nodes: d.n_nodes,
+            per_km2: d.per_km2,
+            shadowing_sigma_db: d.shadowing_sigma_db,
+            beacons_per_sec: inc.beacons_per_sec,
+            coverage: inc.coverage,
+            incremental_s: inc.seconds,
+            rebuild_s: reb.seconds,
+            naive_s: naive.as_ref().map(|n| n.seconds),
+            incremental_filter_s: inc.filter_s,
+            incremental_outcome_s: inc.outcome_s,
+            incremental_interference_s: inc.interference_s,
+            rebuild_filter_s: reb.filter_s,
+            rebuild_outcome_s: reb.outcome_s,
+            incremental_bucket_ops: inc.bucket_ops,
+            rebuild_bucket_ops: reb.bucket_ops,
+            sweep: inc.sweep,
+            peak_rss_bytes: peak_rss_bytes(),
+        });
     }
     t.print();
 
     // A batched AEDB evaluation posed *directly on a dense scenario* —
     // the tuning problem at beyond-paper scale (the paper-scale problems
     // are covered by the other experiment binaries).
-    let batch_json = {
+    let batched_eval = {
         use aedb::scenario::Scenario;
         use mopt::problem::Problem;
         let dense = scale.dense[0].clone();
@@ -218,25 +230,21 @@ fn main() {
                 x[0], x[1], x[2], ev.objectives[0], -ev.objectives[1], ev.objectives[2], ev.violation
             );
         }
-        format!(
-            "  \"batched_eval\": {{\"nodes\": {}, \"candidates\": {}, \"networks\": {n_networks}, \"seconds\": {}}}",
-            dense.n_nodes,
-            xs.len(),
-            json_num(secs)
-        )
+        BatchedEval {
+            nodes: dense.n_nodes,
+            candidates: xs.len(),
+            networks: n_networks,
+            seconds: secs,
+        }
     };
 
-    let json = format!(
-        concat!(
-            "{{\n  \"schema\": \"bench-scale-v4\",\n",
-            "  \"calibration\": {{\"workload\": \"500@200 full protocol, min of 3\", ",
-            "\"seconds\": {}}},\n",
-            "  \"scenarios\": [\n{}\n  ],\n{}\n}}\n"
-        ),
-        json_num(calibration_s),
-        json_scenarios.join(",\n"),
-        batch_json
-    );
-    std::fs::write("BENCH_scale.json", &json).expect("write BENCH_scale.json");
+    let artifact = ScaleArtifact {
+        calibration_seconds: calibration_s,
+        rows,
+        batched_eval,
+    };
+    artifact
+        .write("BENCH_scale.json")
+        .expect("write BENCH_scale.json");
     println!("\nwrote BENCH_scale.json ({} scenarios)", scale.dense.len());
 }

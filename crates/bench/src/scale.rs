@@ -3,38 +3,46 @@
 //! [`DenseScenario`]s (hundreds of nodes) that the simulator's spatial
 //! grid makes tractable.
 //!
-//! # The `bench-scale-v4` artifact schema
+//! # The `bench-scale-v5` artifact schema
 //!
-//! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v4"`
+//! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v5"`
 //! so the performance trajectory stays machine-readable across PRs (and so
 //! CI can fail on regressions — see `scripts/check_bench_regression.py`).
-//! A top-level `calibration` object records the wall time of a fixed
-//! reference workload (the 500@200 preset, full protocol, min-of-3)
-//! measured in the same job — **new in v4** — which turns per-row absolute
-//! wall times into runner-speed-independent ratios the regression gate can
-//! hold ceilings against. Per scenario row:
+//! The artifact is emitted by [`ScaleArtifact`] in this module — the one
+//! place the field list lives, so the schema checker
+//! (`scripts/check_bench_schema.py`) and the emitter cannot silently
+//! drift apart. A top-level `calibration` object records the wall time of
+//! a fixed reference workload (the 500@200 preset, full protocol,
+//! min-of-3) measured in the same job, which turns per-row absolute wall
+//! times into runner-speed-independent ratios the regression gate can
+//! hold ceilings against. Per scenario row ([`ScaleRow`]):
 //!
 //! | field | meaning |
 //! |---|---|
-//! | `spec` | **new in v4**: the scenario in the canonical shared grammar ([`DenseScenario::spec_string`]) — also the row key the perf gate matches floors against |
+//! | `spec` | the scenario in the canonical shared grammar ([`DenseScenario::spec_string`]) — also the row key the perf gate matches floors against |
 //! | `nodes`, `per_km2`, `shadowing_sigma_db` | the [`DenseScenario`] (nodes = total across groups) |
 //! | `beacons_per_sec`, `coverage` | workload sanity numbers (identical across modes, asserted in-run) |
 //! | `incremental_s`, `rebuild_s`, `naive_s` | end-to-end wall time per delivery mode (`naive_s` is `null` above the naive cap) |
 //! | `incremental_filter_s`, `incremental_outcome_s` | candidate-filter vs receive-outcome split of the incremental query (`Simulator::query_profile`) |
-//! | `incremental_interference_s` | **new in v3**: interference+capture share of `incremental_outcome_s` (the phase the spatialised active window optimises; always ≤ the outcome time) |
+//! | `incremental_interference_s` | interference+capture share of `incremental_outcome_s` (the phase the spatialised active window optimises; always ≤ the outcome time) |
 //! | `rebuild_filter_s`, `rebuild_outcome_s` | the same split for the horizon-rebuild baseline, whose verbatim single-loop shape has no finer split |
-//! | `incremental_bucket_ops`, `rebuild_bucket_ops` | grid-maintenance linked-list writes per mode |
+//! | `incremental_bucket_ops`, `rebuild_bucket_ops` | grid-maintenance bucket membership writes per mode |
+//! | `sweep_cells_visited`, `sweep_cells_culled` | **new in v5**: non-empty cells the incremental run's batched sweep reached, and how many the event horizon skipped whole ([`manet::SweepStats`]; culled ≤ visited) |
+//! | `sweep_batched_candidates`, `sweep_scalar_candidates` | **new in v5**: candidates evaluated by full-width chunk kernels vs the scalar fallback (mixed-kind chunks + per-query tails) |
 //! | `peak_rss_bytes` | process peak RSS high-water mark when the row finished ([`peak_rss_bytes`]) |
-//! | `speedup_rebuild_over_incremental`, `speedup_naive_over_incremental` | the headline ratios CI's perf gate checks against committed floors |
+//! | `speedup_rebuild_over_incremental`, `speedup_naive_over_incremental` | the headline ratios CI's perf gate checks against committed floors — derived by the emitter from the wall-time columns, never hand-set |
 //!
 //! The trailing `batched_eval` object records one batched AEDB evaluation
-//! posed directly on the first dense scenario. v3 → v4 added `spec`, the
-//! `calibration` object and the absolute-ceiling gate contract; v2 → v3
-//! added `incremental_interference_s` and the regression-gate (speedup
-//! floor) contract; v1 → v2 added the filter/outcome split and
-//! `peak_rss_bytes`.
+//! posed directly on the first dense scenario. v4 → v5 added the four
+//! sweep counters and moved emission into [`ScaleArtifact`]; v3 → v4
+//! added `spec`, the `calibration` object and the absolute-ceiling gate
+//! contract; v2 → v3 added `incremental_interference_s` and the
+//! regression-gate (speedup floor) contract; v1 → v2 added the
+//! filter/outcome split and `peak_rss_bytes`.
 
 use aedb::scenario::Density;
+use manet::SweepStats;
+use std::fmt::Write as _;
 
 // The dense scenarios now live beside the tuning problem (so `AedbProblem`
 // itself can be posed at 10⁴-node scale); re-exported here because the
@@ -51,6 +59,164 @@ pub fn peak_rss_bytes() -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
+}
+
+/// Schema identifier written by [`ScaleArtifact::to_json`]; bump it here
+/// (and in `scripts/check_bench_schema.py`) when the field list changes.
+pub const SCALE_SCHEMA: &str = "bench-scale-v5";
+
+/// One scenario row of the scale artifact — the measured columns of the
+/// v5 schema (see the module docs for the field table). The speedup
+/// columns are *derived* from the wall times at emission, so they cannot
+/// disagree with the ratios they summarise.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// Canonical scenario spec text (the perf gate's row key).
+    pub spec: String,
+    /// Total devices across all groups.
+    pub nodes: usize,
+    /// Devices per km².
+    pub per_km2: u32,
+    /// Log-normal shadowing σ (dB); 0 = disabled.
+    pub shadowing_sigma_db: f64,
+    /// Beacon rate of the workload (identical across modes).
+    pub beacons_per_sec: f64,
+    /// Broadcast coverage (identical across modes, asserted in-run).
+    pub coverage: usize,
+    /// End-to-end wall time of the incremental delivery mode.
+    pub incremental_s: f64,
+    /// End-to-end wall time of the horizon-rebuild baseline.
+    pub rebuild_s: f64,
+    /// End-to-end wall time of the naive O(n²) scan; `None` above the cap.
+    pub naive_s: Option<f64>,
+    /// Candidate-filter share of the incremental query.
+    pub incremental_filter_s: f64,
+    /// Receive-outcome share of the incremental query.
+    pub incremental_outcome_s: f64,
+    /// Interference+capture share of `incremental_outcome_s`.
+    pub incremental_interference_s: f64,
+    /// Candidate-filter share of the rebuild query.
+    pub rebuild_filter_s: f64,
+    /// Receive-outcome share of the rebuild query.
+    pub rebuild_outcome_s: f64,
+    /// Grid bucket membership writes, incremental mode.
+    pub incremental_bucket_ops: u64,
+    /// Grid bucket membership writes, rebuild mode.
+    pub rebuild_bucket_ops: u64,
+    /// Batched-sweep work counters from the incremental run.
+    pub sweep: SweepStats,
+    /// Process peak RSS when the row finished.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// A batched AEDB evaluation posed directly on a dense scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchedEval {
+    /// Nodes of the dense scenario evaluated.
+    pub nodes: usize,
+    /// Candidate configurations in the batch.
+    pub candidates: usize,
+    /// Fixed evaluation networks per candidate.
+    pub networks: usize,
+    /// Wall time of the whole batch.
+    pub seconds: f64,
+}
+
+/// The whole `BENCH_scale.json` artifact; [`write`](Self::write) is the
+/// single emission path shared by `exp_scale` and the schema docs above.
+#[derive(Debug, Clone)]
+pub struct ScaleArtifact {
+    /// Wall time of the fixed calibration workload (500@200 full
+    /// protocol, min-of-3) measured in the same job.
+    pub calibration_seconds: f64,
+    /// One row per dense scenario, in run order.
+    pub rows: Vec<ScaleRow>,
+    /// The trailing batched-evaluation record.
+    pub batched_eval: BatchedEval,
+}
+
+/// JSON number: finite values with 6 decimals, else `null` (matches what
+/// the schema checker accepts for nullable columns).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    v.map_or("null".into(), json_num)
+}
+
+impl ScaleArtifact {
+    /// Renders the artifact as the v5 JSON document.
+    pub fn to_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            let _ = write!(
+                rows,
+                "    {{\"spec\": \"{}\", \
+                 \"nodes\": {}, \"per_km2\": {}, \"shadowing_sigma_db\": {}, \
+                 \"beacons_per_sec\": {}, \"coverage\": {},\n     \
+                 \"incremental_s\": {}, \"rebuild_s\": {}, \"naive_s\": {},\n     \
+                 \"incremental_filter_s\": {}, \"incremental_outcome_s\": {},\n     \
+                 \"incremental_interference_s\": {},\n     \
+                 \"rebuild_filter_s\": {}, \"rebuild_outcome_s\": {},\n     \
+                 \"incremental_bucket_ops\": {}, \"rebuild_bucket_ops\": {},\n     \
+                 \"sweep_cells_visited\": {}, \"sweep_cells_culled\": {},\n     \
+                 \"sweep_batched_candidates\": {}, \"sweep_scalar_candidates\": {},\n     \
+                 \"peak_rss_bytes\": {},\n     \
+                 \"speedup_rebuild_over_incremental\": {}, \
+                 \"speedup_naive_over_incremental\": {}}}",
+                r.spec,
+                r.nodes,
+                r.per_km2,
+                json_num(r.shadowing_sigma_db),
+                json_num(r.beacons_per_sec),
+                r.coverage,
+                json_num(r.incremental_s),
+                json_num(r.rebuild_s),
+                json_opt(r.naive_s),
+                json_num(r.incremental_filter_s),
+                json_num(r.incremental_outcome_s),
+                json_num(r.incremental_interference_s),
+                json_num(r.rebuild_filter_s),
+                json_num(r.rebuild_outcome_s),
+                r.incremental_bucket_ops,
+                r.rebuild_bucket_ops,
+                r.sweep.cells_visited,
+                r.sweep.cells_culled,
+                r.sweep.batched_candidates,
+                r.sweep.scalar_candidates,
+                r.peak_rss_bytes.map_or("null".into(), |b| b.to_string()),
+                json_num(r.rebuild_s / r.incremental_s),
+                json_opt(r.naive_s.map(|n| n / r.incremental_s)),
+            );
+        }
+        let b = &self.batched_eval;
+        format!(
+            "{{\n  \"schema\": \"{SCALE_SCHEMA}\",\n  \
+             \"calibration\": {{\"workload\": \"500@200 full protocol, min of 3\", \
+             \"seconds\": {}}},\n  \
+             \"scenarios\": [\n{rows}\n  ],\n  \
+             \"batched_eval\": {{\"nodes\": {}, \"candidates\": {}, \
+             \"networks\": {}, \"seconds\": {}}}\n}}\n",
+            json_num(self.calibration_seconds),
+            b.nodes,
+            b.candidates,
+            b.networks,
+            json_num(b.seconds),
+        )
+    }
+
+    /// Writes the artifact to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
 }
 
 /// Scale knobs of an experiment run.

@@ -146,6 +146,11 @@ pub struct ActiveWindow<T> {
     /// Per-lane `(seq, end_time, payload)`, end-monotone within a lane.
     lanes: Vec<std::collections::VecDeque<(u64, f64, T)>>,
     seq: u64,
+    /// Conservative lower bound on the earliest `end` among lane fronts
+    /// (`+inf` when empty): [`prune`](Self::prune) is called once per
+    /// delivery query but only drops anything when a frame actually
+    /// expired, so a one-compare fast path beats walking every lane front.
+    next_expiry: f64,
 }
 
 /// The **spatialised** active window: in-flight transmissions bucketed by
@@ -187,6 +192,10 @@ pub struct SpatialActiveWindow<T> {
     order: Vec<VecDeque<u32>>,
     seq: u64,
     live: usize,
+    /// Conservative lower bound on the earliest `end` among lane fronts
+    /// (`+inf` when empty) — same one-compare prune fast path as the flat
+    /// [`ActiveWindow`].
+    next_expiry: f64,
 }
 
 impl<T> SpatialActiveWindow<T> {
@@ -205,6 +214,7 @@ impl<T> SpatialActiveWindow<T> {
             order: (0..lanes).map(|_| VecDeque::new()).collect(),
             seq: 0,
             live: 0,
+            next_expiry: f64::INFINITY,
         }
     }
 
@@ -233,6 +243,7 @@ impl<T> SpatialActiveWindow<T> {
         }
         self.seq = 0;
         self.live = 0;
+        self.next_expiry = f64::INFINITY;
     }
 
     /// Inserts `item`, transmitted from `pos` and expiring at `end`, into
@@ -252,11 +263,18 @@ impl<T> SpatialActiveWindow<T> {
         self.order[lane].push_back(bucket as u32);
         self.seq += 1;
         self.live += 1;
+        self.next_expiry = self.next_expiry.min(end);
     }
 
     /// Drops every entry with `end <= threshold` — O(dropped), so the
-    /// total prune work over a run is bounded by the number of insertions.
+    /// total prune work over a run is bounded by the number of insertions,
+    /// and a cached earliest-expiry bound short-circuits the (common)
+    /// calls with nothing to drop in one compare.
     pub fn prune(&mut self, threshold: f64) {
+        if threshold < self.next_expiry {
+            return;
+        }
+        let mut min_end = f64::INFINITY;
         for lane in 0..self.lanes {
             while let Some(&bucket) = self.order[lane].front() {
                 let front = self.buckets[bucket as usize]
@@ -269,7 +287,16 @@ impl<T> SpatialActiveWindow<T> {
                 self.order[lane].pop_front();
                 self.live -= 1;
             }
+            if let Some(&bucket) = self.order[lane].front() {
+                min_end = min_end.min(
+                    self.buckets[bucket as usize]
+                        .front()
+                        .expect("order queue names an empty bucket")
+                        .1,
+                );
+            }
         }
+        self.next_expiry = min_end;
     }
 
     /// Re-bins every live entry into a new cell decomposition, preserving
@@ -352,6 +379,7 @@ impl<T> ActiveWindow<T> {
                 .map(|_| std::collections::VecDeque::new())
                 .collect(),
             seq: 0,
+            next_expiry: f64::INFINITY,
         }
     }
 
@@ -361,6 +389,7 @@ impl<T> ActiveWindow<T> {
             lane.clear();
         }
         self.seq = 0;
+        self.next_expiry = f64::INFINITY;
     }
 
     /// Inserts `item` expiring at `end` into `lane`. Entries in one lane
@@ -373,16 +402,27 @@ impl<T> ActiveWindow<T> {
         );
         self.lanes[lane].push_back((self.seq, end, item));
         self.seq += 1;
+        self.next_expiry = self.next_expiry.min(end);
     }
 
     /// Drops every entry with `end <= threshold` — O(dropped), so the
-    /// total prune work over a run is bounded by the number of insertions.
+    /// total prune work over a run is bounded by the number of insertions,
+    /// and a cached earliest-expiry bound short-circuits the (common)
+    /// calls with nothing to drop in one compare.
     pub fn prune(&mut self, threshold: f64) {
+        if threshold < self.next_expiry {
+            return;
+        }
+        let mut min_end = f64::INFINITY;
         for lane in &mut self.lanes {
             while lane.front().is_some_and(|&(_, e, _)| e <= threshold) {
                 lane.pop_front();
             }
+            if let Some(&(_, e, _)) = lane.front() {
+                min_end = min_end.min(e);
+            }
         }
+        self.next_expiry = min_end;
     }
 
     /// Number of live entries.

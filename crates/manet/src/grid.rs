@@ -22,7 +22,8 @@
 //!    margin* `v_max · (t_query − t_build)` to the radius because node
 //!    positions drift between rebuilds. O(n) per horizon lapse regardless
 //!    of how little anything moved.
-//! 2. **Incremental** (event-driven): each cell is a doubly-linked list so
+//! 2. **Incremental** (event-driven): each cell is a compact array of
+//!    member ids (push to insert, swap-remove to delete) so
 //!    [`update_node`] moves one node between cells in O(1). The simulator
 //!    drives these updates from per-node *cell-crossing events*: a node at
 //!    distance `d` from its cell boundary moving at speed `s` cannot change
@@ -129,8 +130,8 @@ impl CellGeometry {
 
 /// Maintenance-cost counters of a [`SpatialGrid`] — the measurable half of
 /// the "incremental beats horizon-rebuild" claim. A bucket *op* is one
-/// linked-list write: a rebuild costs `n` ops, an incremental node move
-/// costs 2 (unlink + relink).
+/// membership write: a rebuild costs `n` ops, an incremental node move
+/// costs 2 (swap-remove from the old cell + push into the new one).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GridStats {
     /// Linked-list writes performed so far.
@@ -141,18 +142,31 @@ pub struct GridStats {
     pub node_moves: u64,
 }
 
-/// Bucketed node positions with doubly-linked-list cells (no per-query
-/// allocation; rebuilds reuse every buffer, incremental updates are O(1)).
+/// Bucketed node positions with contiguous per-cell member arrays (no
+/// per-query allocation; rebuilds reuse every buffer, incremental updates
+/// are O(1) via swap-remove + push).
+///
+/// Earlier revisions threaded an intrusive doubly-linked list through
+/// per-node `next`/`prev` arrays. That made `update_node` O(1) too, but a
+/// *query* then chased one pointer per member (head + `next[]` walk), each
+/// landing on an unrelated cache line — the dominant cost of the delivery
+/// query's gather phase once the arithmetic was batched (see
+/// [`crate::sweep`]). Compact buckets keep a cell's member ids adjacent
+/// (4 bytes each), so walking a typical 2–3-member cell touches one line
+/// after the bucket header instead of three or four.
+///
+/// Within-cell visit order is **unspecified** (swap-remove perturbs it):
+/// every consumer either sorts the gathered candidates or — like the
+/// batched sweep — produces output whose order is independent of gather
+/// order, so this is not observable in any delivery outcome.
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     /// Cell decomposition of the field.
     geom: CellGeometry,
-    /// Head node index per cell (`usize::MAX` = empty).
-    heads: Vec<usize>,
-    /// Next node index in the same cell (`usize::MAX` = end).
-    next: Vec<usize>,
-    /// Previous node index in the same cell (`usize::MAX` = head).
-    prev: Vec<usize>,
+    /// Member node ids per cell, contiguous, in unspecified order.
+    buckets: Vec<Vec<u32>>,
+    /// Index of each node within its cell's bucket.
+    slot: Vec<u32>,
     /// Cell index each node is currently bucketed in.
     cell_idx: Vec<usize>,
     /// Node positions captured at the last rebuild/update.
@@ -173,9 +187,8 @@ impl SpatialGrid {
         let geom = CellGeometry::new(field, cell);
         Self {
             geom,
-            heads: vec![NONE; geom.n_cells()],
-            next: Vec::new(),
-            prev: Vec::new(),
+            buckets: vec![Vec::new(); geom.n_cells()],
+            slot: Vec::new(),
             cell_idx: Vec::new(),
             pos: Vec::new(),
             built_at: f64::NEG_INFINITY,
@@ -220,26 +233,20 @@ impl SpatialGrid {
     }
 
     fn link(&mut self, i: usize, c: usize) {
-        let head = self.heads[c];
-        self.next[i] = head;
-        self.prev[i] = NONE;
-        if head != NONE {
-            self.prev[head] = i;
-        }
-        self.heads[c] = i;
+        let bucket = &mut self.buckets[c];
+        self.slot[i] = bucket.len() as u32;
+        bucket.push(i as u32);
         self.cell_idx[i] = c;
         self.stats.bucket_ops += 1;
     }
 
     fn unlink(&mut self, i: usize) {
-        let (p, n) = (self.prev[i], self.next[i]);
-        if p != NONE {
-            self.next[p] = n;
-        } else {
-            self.heads[self.cell_idx[i]] = n;
-        }
-        if n != NONE {
-            self.prev[n] = p;
+        let s = self.slot[i] as usize;
+        let bucket = &mut self.buckets[self.cell_idx[i]];
+        bucket.swap_remove(s);
+        // The former last member now occupies slot `s` (if any remained).
+        if let Some(&moved) = bucket.get(s) {
+            self.slot[moved as usize] = s as u32;
         }
         self.stats.bucket_ops += 1;
     }
@@ -247,11 +254,11 @@ impl SpatialGrid {
     /// Re-buckets all `n` nodes using `position(i)` sampled at time `t`.
     /// Reuses every internal buffer; O(cells + n).
     pub fn rebuild<F: FnMut(usize) -> Vec2>(&mut self, n: usize, t: f64, mut position: F) {
-        self.heads.fill(NONE);
-        self.next.clear();
-        self.next.resize(n, NONE);
-        self.prev.clear();
-        self.prev.resize(n, NONE);
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.slot.clear();
+        self.slot.resize(n, u32::MAX);
         self.cell_idx.clear();
         self.cell_idx.resize(n, NONE);
         self.pos.clear();
@@ -287,12 +294,11 @@ impl SpatialGrid {
     pub fn candidates_within(&self, center: Vec2, radius: f64, out: &mut Vec<usize>) {
         self.visit_cells(center, radius, |grid, cell| {
             let r2 = radius * radius;
-            let mut i = grid.heads[cell];
-            while i != NONE {
+            for &i in &grid.buckets[cell] {
+                let i = i as usize;
                 if grid.pos[i].distance_sq(center) <= r2 {
                     out.push(i);
                 }
-                i = grid.next[i];
             }
         });
     }
@@ -310,18 +316,79 @@ impl SpatialGrid {
     /// Calls `f(node)` for every node bucketed in a cell overlapping the
     /// disc of `radius` around `center` — [`cells_within`](Self::cells_within)
     /// without the intermediate id list, so the delivery query can filter
-    /// candidates as it walks the cell lists instead of materialising and
-    /// re-traversing them. Visit order (cell-major, list order within a
+    /// candidates as it walks the cell buckets instead of materialising and
+    /// re-traversing them. Visit order (cell-major, bucket order within a
     /// cell) is identical to `cells_within`.
     #[inline]
     pub fn for_each_in_cells<F: FnMut(usize)>(&self, center: Vec2, radius: f64, mut f: F) {
         self.visit_cells(center, radius, |grid, cell| {
-            let mut i = grid.heads[cell];
-            while i != NONE {
-                f(i);
-                i = grid.next[i];
+            for &i in &grid.buckets[cell] {
+                f(i as usize);
             }
         });
+    }
+
+    /// Whether `cell` currently buckets no nodes — lets the batched sweep
+    /// skip empty cells before touching any bound or bucket state.
+    #[inline]
+    pub fn cell_is_empty(&self, cell: usize) -> bool {
+        self.buckets[cell].is_empty()
+    }
+
+    /// The member ids bucketed in `cell`, contiguous, in unspecified
+    /// order — the same order [`for_each_in_cells`](Self::for_each_in_cells)
+    /// walks the cell, so a caller enumerating cells via
+    /// [`CellGeometry::for_each_cell_in_disc`] and members via this slice
+    /// reproduces the disc query's exact visit order. Exposing the slice
+    /// (rather than only a callback walk) lets the batched sweep prefetch
+    /// a bucket's data line before it needs the members.
+    #[inline]
+    pub fn bucket(&self, cell: usize) -> &[u32] {
+        &self.buckets[cell]
+    }
+
+    /// Hints the CPU to start loading `cell`'s bucket *header* (length +
+    /// data pointer) without reading it. A delivery query touches a couple
+    /// of dozen cells whose headers scatter across a multi-hundred-KiB
+    /// array; issuing these hints one pass ahead of the
+    /// [`bucket`](Self::bucket) calls takes the header loads off the
+    /// gather's critical path. No observable effect beyond cache state.
+    #[inline]
+    pub fn prefetch_bucket(&self, cell: usize) {
+        let p: *const Vec<u32> = &self.buckets[cell];
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: prefetch is side-effect-free and architecturally valid
+        // for any address.
+        unsafe {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            _mm_prefetch(p.cast::<i8>(), _MM_HINT_T0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = p;
+    }
+
+    /// Calls `f(node)` for every node bucketed in `cell`, in
+    /// [`bucket`](Self::bucket) order.
+    #[inline]
+    pub fn for_each_in_cell<F: FnMut(usize)>(&self, cell: usize, mut f: F) {
+        for &i in &self.buckets[cell] {
+            f(i as usize);
+        }
+    }
+
+    /// The cell node `i` is currently bucketed in (the invalidation hook
+    /// of the sweep's event-horizon cache needs the *destination* cell of
+    /// a node move).
+    #[inline]
+    pub fn node_cell(&self, i: usize) -> usize {
+        self.cell_idx[i]
+    }
+
+    /// Number of nodes bucketed by the last [`rebuild`](Self::rebuild) —
+    /// every id in every [`bucket`](Self::bucket) is below this.
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.pos.len()
     }
 
     /// Visits every cell overlapping the disc (`center`, `radius`).

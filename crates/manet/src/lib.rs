@@ -20,6 +20,9 @@
 //! * [`snapshot`] — flat structure-of-arrays kinematic snapshots of every
 //!   node's current mobility segment, the cache-friendly data the delivery
 //!   query filters candidates against,
+//! * [`sweep`] — the batched candidate filter: fixed-width lane sweeps
+//!   over the snapshot (SIMD-friendly, bit-identical to the scalar
+//!   filter) plus per-cell event-horizon culling,
 //! * [`sim`] — the simulator proper: beaconing, half-duplex radios,
 //!   collision/capture modelling, timers and metric collection,
 //! * [`world`] — the declarative scenario API: a validated
@@ -45,6 +48,7 @@ pub mod protocol;
 pub mod radio;
 pub mod sim;
 pub mod snapshot;
+pub mod sweep;
 pub mod trace;
 pub mod world;
 
@@ -53,5 +57,6 @@ pub use grid::GridStats;
 pub use metrics::BroadcastMetrics;
 pub use protocol::{Protocol, ProtocolApi};
 pub use radio::{dbm_to_mw, mw_to_dbm, PathLoss, RadioConfig, SHADOW_TAIL_SIGMAS};
-pub use sim::{DeliveryMode, NodeId, SimConfig, Simulator};
+pub use sim::{DeliveryMode, NodeId, SimConfig, Simulator, GRID_BUCKET_SLACK_M};
+pub use sweep::{DeliverySweep, SweepStats, SWEEP_WIDTH};
 pub use world::{DenseScenario, GroupPlacement, NodeGroup, WorldSpec};

@@ -99,6 +99,7 @@ use crate::neighbor::{NeighborEntry, NeighborTable};
 use crate::protocol::{Protocol, ProtocolApi};
 use crate::radio::{dbm_to_mw, RadioConfig, INTERFERENCE_FLOOR_DB};
 use crate::snapshot::KinematicSnapshot;
+use crate::sweep::{DeliverySweep, SweepStats};
 use crate::world::{GroupPlacement, WorldSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -125,7 +126,11 @@ const RANGE_EPSILON: f64 = 1e-6;
 /// by inflating its radius by the same constant. 0.1 m against ~139 m
 /// cells costs nothing and keeps worst-case refresh rates at
 /// `speed / SLACK` ≈ 20 events/s only while a node hugs an edge.
-const GRID_BUCKET_SLACK_M: f64 = 0.1;
+///
+/// Public so external harnesses modelling the incremental query (the
+/// criterion filter benches) inflate their radius by the *same* constant
+/// instead of a hard-coded copy that could drift.
+pub const GRID_BUCKET_SLACK_M: f64 = 0.1;
 
 /// How node buckets in the spatial grid are maintained and queried when
 /// resolving deliveries. All modes are bit-identical in their results (the
@@ -364,6 +369,10 @@ struct World {
     /// cache-friendly lanes the incremental delivery query evaluates
     /// exact positions from (bit-identical to the `mobility` structs).
     snapshot: KinematicSnapshot,
+    /// The batched candidate filter (fixed-width lane sweeps over the
+    /// snapshot plus the per-cell event-horizon cache) driving the
+    /// incremental delivery query — see [`crate::sweep`].
+    sweep: DeliverySweep,
     /// Per-node refresh generation; bumped whenever a node's mobility
     /// segment changes so in-flight [`Event::GridRefresh`]s go stale.
     refresh_gen: Vec<u32>,
@@ -376,6 +385,11 @@ struct World {
     /// surviving the snapshot filter (incremental mode) — the position
     /// and distance feed straight into the outcome test.
     filter_scratch: Vec<(NodeId, Vec2, f64)>,
+    /// One-entry memo of [`decode_radius`](World::decode_radius) keyed by
+    /// the transmit power's bit pattern: the radius costs a `powf` per
+    /// call, every delivery query needs it, and in practice transmissions
+    /// cycle through a handful of power classes (usually one).
+    decode_radius_memo: (u64, f64),
     /// Scratch: candidates that passed the (log-free) decode test, with
     /// their received power (NaN = deferred: computed only if the capture
     /// comparison or a delivery actually needs it).
@@ -447,10 +461,12 @@ impl World {
             broadcast_started: false,
             grid,
             snapshot,
+            sweep: DeliverySweep::new(),
             refresh_gen: Vec::new(),
             refresh_events: 0,
             candidate_scratch: Vec::new(),
             filter_scratch: Vec::new(),
+            decode_radius_memo: (u64::MAX, 0.0),
             decode_scratch: Vec::new(),
             frame_scratch: Vec::new(),
             delivery_scratch: Vec::new(),
@@ -597,6 +613,7 @@ impl World {
         self.grid.rebuild(n, 0.0, |i| mobility[i].position(0.0));
         self.snapshot
             .rebuild(self.spec.field, mobility.iter().map(|m| m.segment()));
+        self.sweep.reset(self.grid.geometry().n_cells(), n);
         self.refresh_gen.clear();
         self.refresh_gen.resize(n, 0);
         for node in 0..n {
@@ -636,7 +653,11 @@ impl World {
         self.refresh_events += 1;
         if self.mode == DeliveryMode::Incremental {
             let p = self.mobility[node].position(self.queue.now());
-            self.grid.update_node(node, p);
+            if self.grid.update_node(node, p) {
+                // the node entered a new cell: its event-horizon bound no
+                // longer covers every member
+                self.sweep.invalidate_cell(self.grid.node_cell(node));
+            }
         }
         self.schedule_grid_refresh(node);
     }
@@ -652,6 +673,9 @@ impl World {
         if self.mode == DeliveryMode::Incremental {
             let p = self.mobility[node].position(self.queue.now());
             self.grid.update_node(node, p);
+            // the node's speed/heading (and possibly cell) changed: the
+            // cached event horizon of the cell it now occupies is stale
+            self.sweep.invalidate_cell(self.grid.node_cell(node));
         }
         self.schedule_grid_refresh(node);
     }
@@ -771,8 +795,16 @@ impl World {
     /// The finite radius within which `tx` can possibly be decoded:
     /// the bounded-tail decode range (shadowing gain truncated at `+4σ`)
     /// inflated against floating-point rounding at the exact boundary.
-    fn decode_radius(&self, tx: &Transmission) -> f64 {
-        self.spec.radio.max_decode_range(tx.tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON
+    fn decode_radius(&mut self, tx: &Transmission) -> f64 {
+        let bits = tx.tx_dbm.to_bits();
+        if self.decode_radius_memo.0 == bits {
+            return self.decode_radius_memo.1;
+        }
+        let r = self.spec.radio.max_decode_range(tx.tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON;
+        // `u64::MAX` is a NaN bit pattern, so a real power never collides
+        // with the initial sentinel.
+        self.decode_radius_memo = (bits, r);
+        r
     }
 
     /// Successful receivers of `tx` under propagation, half-duplex and
@@ -840,24 +872,27 @@ impl World {
         filtered.clear();
         // Buckets are exact up to the refresh slack; stored positions may
         // be older than the bucket, so walk whole cells (inflated by the
-        // slack) and filter on *current* exact positions from the lanes.
+        // slack) and filter on *current* exact positions from the lanes —
+        // batched into fixed-width chunk kernels by the sweep, which also
+        // skips cells its event-horizon cache proves out of decode reach
+        // (see `crate::sweep` for the bit-exactness argument).
         let r = self.decode_radius(tx);
-        let (t, r2) = (tx.end, r * r);
-        {
-            let snap = &self.snapshot;
-            let grid = &self.grid;
-            let center = tx.pos;
-            grid.for_each_in_cells(center, r + GRID_BUCKET_SLACK_M, |i| {
-                let p = snap.position(i, t);
-                let d2 = p.distance_sq(center);
-                if d2 <= r2 {
-                    filtered.push((i, p, d2));
-                }
-            });
-        }
+        let t = tx.end;
+        self.sweep.filter_into(
+            &self.grid,
+            &self.snapshot,
+            tx.pos,
+            t,
+            r,
+            GRID_BUCKET_SLACK_M,
+            &mut filtered,
+        );
         // Ascending node order: delivery order feeds protocol callbacks
         // (and their RNG draws), so every mode must match the naive scan.
-        filtered.sort_unstable_by_key(|&(i, _, _)| i);
+        // The sweep evaluates its gathered ids in sorted order, so the
+        // survivors arrive exactly as the historical post-filter sort
+        // left them.
+        debug_assert!(filtered.windows(2).all(|w| w[0].0 < w[1].0));
         let t_mid = self.profile_on.then(Instant::now);
 
         // Frames that can matter to *any* candidate of this query, in
@@ -1265,6 +1300,12 @@ impl<P: Protocol> Simulator<P> {
     /// (asserted by the determinism test suite); the non-default modes
     /// exist for parity checks and as benchmark baselines.
     pub fn set_delivery_mode(&mut self, mode: DeliveryMode) {
+        if self.world.mode != mode {
+            // Another discipline may re-bucket nodes without per-cell
+            // notifications (horizon rebuilds), so no cached event
+            // horizon survives a mode switch.
+            self.world.sweep.invalidate_all();
+        }
         self.world.mode = mode;
     }
 
@@ -1279,11 +1320,11 @@ impl<P: Protocol> Simulator<P> {
     ///
     /// [`set_delivery_mode`]: Self::set_delivery_mode
     pub fn set_naive_deliveries(&mut self, on: bool) {
-        self.world.mode = if on {
+        self.set_delivery_mode(if on {
             DeliveryMode::Naive
         } else {
             DeliveryMode::Incremental
-        };
+        });
     }
 
     /// Spatial-grid maintenance counters accumulated since the last
@@ -1297,6 +1338,15 @@ impl<P: Protocol> Simulator<P> {
     /// Live (non-stale) grid-refresh events handled since the last reset.
     pub fn grid_refresh_events(&self) -> u64 {
         self.world.refresh_events
+    }
+
+    /// Work counters of the batched candidate sweep since the last reset:
+    /// cells visited/culled and candidates evaluated by chunk kernels vs
+    /// the scalar fallback (all zero outside
+    /// [`DeliveryMode::Incremental`], which is the only path that
+    /// sweeps). Exported per row of the scale artifact.
+    pub fn sweep_stats(&self) -> SweepStats {
+        self.world.sweep.stats()
     }
 
     /// Cell edge (m) of the spatial delivery grid — exposed so tests can

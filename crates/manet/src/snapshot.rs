@@ -40,6 +40,60 @@
 use crate::geometry::{Field, Vec2};
 use crate::mobility::{KinematicSegment, SegmentKind};
 
+/// One node's hot segment fields packed (and padded) into a single
+/// 64-byte cache line — the gather-friendly mirror of the SoA lanes.
+///
+/// The chunk kernels of [`crate::sweep`] evaluate candidates *gathered*
+/// by a spatial query, so every access is effectively random: reading
+/// the SoA lanes costs one cache line per lane touched (kind, origin,
+/// velocity, segment start — four lines per candidate at 10⁴+ nodes),
+/// while this record serves all four from one. The SoA lanes remain the
+/// canonical layout for sequential whole-world passes; the mirror is
+/// maintained in lockstep by [`KinematicSnapshot::rebuild`] and
+/// [`KinematicSnapshot::set`] and holds the **same `f64` values**, so
+/// kernels reading it stay bit-identical to
+/// [`KinematicSnapshot::position`].
+///
+/// Waypoint destinations are deliberately absent (they would overflow
+/// the line): waypoint evaluation needs the arrival/parking branches
+/// anyway, so it always takes the scalar lane path.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(64))]
+pub struct PackedSegment {
+    /// Segment origin (walk/waypoint) or fixed position (still).
+    pub origin: Vec2,
+    /// Walk velocity / waypoint leg displacement.
+    pub velocity: Vec2,
+    /// Segment start time.
+    pub t0: f64,
+    /// Waypoint arrival time (`+∞` otherwise).
+    pub arrival: f64,
+    /// Trajectory-family discriminant.
+    pub kind: SegmentKind,
+}
+
+/// Read-only view of a [`KinematicSnapshot`]'s flat lanes, index-aligned
+/// by node id — what the fixed-width chunk kernels of [`crate::sweep`]
+/// iterate instead of going through the per-node accessors.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentLanes<'a> {
+    /// The simulation field (walk segments reflect off its walls).
+    pub field: Field,
+    /// Trajectory-family discriminant per node.
+    pub kinds: &'a [SegmentKind],
+    /// Segment origins (walk/waypoint) or fixed positions (still).
+    pub origin: &'a [Vec2],
+    /// Walk velocities / waypoint leg displacements (see
+    /// [`KinematicSegment::velocity`]).
+    pub velocity: &'a [Vec2],
+    /// Segment start times.
+    pub t0: &'a [f64],
+    /// Waypoint arrival times (`+∞` otherwise).
+    pub arrival: &'a [f64],
+    /// Waypoint destinations (`== origin` otherwise).
+    pub dest: &'a [Vec2],
+}
+
 /// Flat per-node segment lanes (see the module docs). The
 /// [`SegmentKind`] discriminant is itself a lane: heterogeneous worlds
 /// ([`crate::world::WorldSpec`]) mix mobility models across node groups,
@@ -56,6 +110,7 @@ pub struct KinematicSnapshot {
     t0: Vec<f64>,
     arrival: Vec<f64>,
     dest: Vec<Vec2>,
+    packed: Vec<PackedSegment>,
 }
 
 impl KinematicSnapshot {
@@ -70,6 +125,7 @@ impl KinematicSnapshot {
             t0: Vec::new(),
             arrival: Vec::new(),
             dest: Vec::new(),
+            packed: Vec::new(),
         }
     }
 
@@ -98,6 +154,7 @@ impl KinematicSnapshot {
         self.t0.clear();
         self.arrival.clear();
         self.dest.clear();
+        self.packed.clear();
         for s in segs {
             self.kinds.push(s.kind);
             self.origin.push(s.origin);
@@ -105,6 +162,13 @@ impl KinematicSnapshot {
             self.t0.push(s.t0);
             self.arrival.push(s.arrival);
             self.dest.push(s.dest);
+            self.packed.push(PackedSegment {
+                origin: s.origin,
+                velocity: s.velocity,
+                t0: s.t0,
+                arrival: s.arrival,
+                kind: s.kind,
+            });
         }
     }
 
@@ -117,6 +181,13 @@ impl KinematicSnapshot {
         self.t0[i] = s.t0;
         self.arrival[i] = s.arrival;
         self.dest[i] = s.dest;
+        self.packed[i] = PackedSegment {
+            origin: s.origin,
+            velocity: s.velocity,
+            t0: s.t0,
+            arrival: s.arrival,
+            kind: s.kind,
+        };
     }
 
     /// The segment lanes of node `i`, reassembled (tests/diagnostics).
@@ -128,6 +199,30 @@ impl KinematicSnapshot {
             t0: self.t0[i],
             arrival: self.arrival[i],
             dest: self.dest[i],
+        }
+    }
+
+    /// Borrowed view of the raw segment lanes, consumed by the batched
+    /// candidate sweep ([`crate::sweep`]). The lanes are index-aligned:
+    /// entry `i` of every slice describes node `i`'s current segment, and
+    /// evaluating them per [`KinematicSegment`]'s contract reproduces
+    /// [`position`](Self::position) bit-for-bit.
+    /// The cache-line-packed mirror of the hot lanes (see
+    /// [`PackedSegment`]), index-aligned by node id. Holds the same
+    /// values as the lanes at all times.
+    pub fn packed(&self) -> &[PackedSegment] {
+        &self.packed
+    }
+
+    pub fn lanes(&self) -> SegmentLanes<'_> {
+        SegmentLanes {
+            field: self.field,
+            kinds: &self.kinds,
+            origin: &self.origin,
+            velocity: &self.velocity,
+            t0: &self.t0,
+            arrival: &self.arrival,
+            dest: &self.dest,
         }
     }
 

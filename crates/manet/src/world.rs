@@ -552,7 +552,7 @@ impl DenseScenario {
     ];
 
     /// Extreme-scale presets (10⁴ nodes): the incremental-grid regime.
-    pub const XL_PRESETS: [DenseScenario; 2] = [
+    pub const XL_PRESETS: [DenseScenario; 3] = [
         DenseScenario {
             per_km2: 300,
             n_nodes: 5_000,
@@ -564,6 +564,13 @@ impl DenseScenario {
             per_km2: 400,
             n_nodes: 10_000,
             base_seed: 7_410_000,
+            shadowing_sigma_db: 0.0,
+            groups: Vec::new(),
+        },
+        DenseScenario {
+            per_km2: 400,
+            n_nodes: 100_000,
+            base_seed: 7_500_000,
             shadowing_sigma_db: 0.0,
             groups: Vec::new(),
         },

@@ -18,6 +18,11 @@ Two kinds of checks:
   units of the fixed calibration workload measured in the same job
   (schema v4), which cancels runner speed. The gate fails when the
   normalised time exceeds `ceiling * (1 + absolute_tolerance)`.
+* **RSS ceilings** (`rss_ceilings`): each bounds a row's `peak_rss_bytes`
+  with an absolute byte count (memory needs no runner-speed calibration),
+  so a memory regression at scale fails the gate too. `peak_rss_bytes` is
+  a process high-water mark — monotone across rows — so a ceiling on a
+  given row also covers every row that ran before it.
 
 Values inside their bound print the headroom, which is the cue to tighten
 the bound after a durable win.
@@ -112,6 +117,26 @@ def main(argv):
                         f"{scenario}: {metric} {ratio:.2f}x calibration exceeded "
                         f"{cutoff:.2f}x (ceiling {ceiling:.2f}x + {abs_tol:.0%} tolerance)"
                     )
+    for c in floors.get("rss_ceilings", []):
+        scenario, ceiling = c["scenario"], int(c["ceiling_bytes"])
+        row = rows.get(scenario)
+        if row is None:
+            failures.append(f"scenario {scenario} missing from {bench_path}")
+            continue
+        value = row.get("peak_rss_bytes")
+        if value is None:
+            failures.append(f"{scenario}: peak_rss_bytes is null/missing")
+            continue
+        verdict = "OK" if value <= ceiling else "REGRESSED"
+        print(
+            f"check_bench_regression: {scenario} peak_rss_bytes = "
+            f"{value / 2**20:.0f} MiB (ceiling {ceiling / 2**20:.0f} MiB) {verdict}"
+        )
+        if value > ceiling:
+            failures.append(
+                f"{scenario}: peak RSS {value / 2**20:.0f} MiB exceeded "
+                f"ceiling {ceiling / 2**20:.0f} MiB"
+            )
     if failures:
         fail("; ".join(failures))
     print("check_bench_regression: all floors and ceilings held")

@@ -1,20 +1,22 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_scale.json artifact against the bench-scale-v4 schema.
+"""Validate a BENCH_scale.json artifact against the bench-scale-v5 schema.
 
 Usage: check_bench_schema.py [PATH] [--rows N]
 
 PATH defaults to BENCH_scale.json in the current directory. --rows asserts
 the exact scenario-row count (CI passes the count its smoke run produces).
 
-The v4 schema is documented in crates/bench/src/scale.rs. Beyond key
-presence, the structural invariants checked here are the ones a broken
-profiler or a half-written emitter would violate:
+The v5 schema is documented (and emitted) in crates/bench/src/scale.rs.
+Beyond key presence, the structural invariants checked here are the ones a
+broken profiler or a half-written emitter would violate:
 
   * the calibration workload has a positive wall time;
   * every row's `spec` is a non-empty scenario-grammar string whose head
     matches the row's nodes/density columns for homogeneous rows;
   * filter + outcome query time cannot exceed the mode's end-to-end time;
   * the interference phase is a sub-interval of the outcome phase;
+  * the event horizon cannot cull more cells than the sweep visited, and
+    an incremental run that delivered anything must have swept candidates;
   * the recorded speedup columns must equal the wall-time ratios they
     summarise.
 """
@@ -39,6 +41,10 @@ REQUIRED = [
     "rebuild_outcome_s",
     "incremental_bucket_ops",
     "rebuild_bucket_ops",
+    "sweep_cells_visited",
+    "sweep_cells_culled",
+    "sweep_batched_candidates",
+    "sweep_scalar_candidates",
     "peak_rss_bytes",
     "speedup_rebuild_over_incremental",
     "speedup_naive_over_incremental",
@@ -65,8 +71,8 @@ def main(argv):
     except (OSError, ValueError) as e:
         fail(f"cannot read {path}: {e}")
 
-    if d.get("schema") != "bench-scale-v4":
-        fail(f"schema is {d.get('schema')!r}, want 'bench-scale-v4'")
+    if d.get("schema") != "bench-scale-v5":
+        fail(f"schema is {d.get('schema')!r}, want 'bench-scale-v5'")
     cal = d.get("calibration")
     if not isinstance(cal, dict) or not isinstance(cal.get("seconds"), (int, float)):
         fail("missing calibration object with numeric 'seconds'")
@@ -94,6 +100,20 @@ def main(argv):
             fail(f"row {name}: interference phase exceeds the outcome phase")
         if row["rebuild_filter_s"] + row["rebuild_outcome_s"] > row["rebuild_s"]:
             fail(f"row {name}: rebuild query split exceeds end-to-end time")
+        for key in (
+            "sweep_cells_visited",
+            "sweep_cells_culled",
+            "sweep_batched_candidates",
+            "sweep_scalar_candidates",
+        ):
+            v = row[key]
+            if not isinstance(v, int) or v < 0:
+                fail(f"row {name}: {key} must be a non-negative integer, got {v!r}")
+        if row["sweep_cells_culled"] > row["sweep_cells_visited"]:
+            fail(f"row {name}: event horizon culled more cells than the sweep visited")
+        swept = row["sweep_batched_candidates"] + row["sweep_scalar_candidates"]
+        if row["coverage"] > 1 and swept == 0:
+            fail(f"row {name}: incremental run delivered but swept no candidates")
         want = row["rebuild_s"] / row["incremental_s"]
         got = row["speedup_rebuild_over_incremental"]
         if abs(got - want) > 1e-4 * max(1.0, want):
@@ -106,7 +126,7 @@ def main(argv):
 
     if "batched_eval" not in d:
         fail("missing batched_eval object")
-    print(f"check_bench_schema: OK ({len(scenarios)} rows, schema bench-scale-v4)")
+    print(f"check_bench_schema: OK ({len(scenarios)} rows, schema bench-scale-v5)")
 
 
 if __name__ == "__main__":

@@ -148,3 +148,67 @@ fn fast99_design_is_reproducible() {
     let g = Fast99::new(5, 129);
     assert_eq!(f.design(4), g.design(4));
 }
+
+#[test]
+fn event_horizon_culling_never_skips_a_decodable_receiver() {
+    // The PR-7 culling pin with the naive scan as oracle: a world of
+    // tight stationary clusters spread over a large field is the shape
+    // where the sweep's per-cell event horizon fires hardest (members
+    // hug one corner of their cell, so whole cells near the edge of the
+    // query disc are provably out of decode reach). If a bound were ever
+    // too tight — skipping a cell that still held a decodable receiver —
+    // the incremental run would lose deliveries the naive scan finds,
+    // and the metrics/counters below would split.
+    use manet::geometry::Vec2;
+    use manet::mobility::MobilityModel;
+    let mut groups: Vec<NodeGroup> = Vec::new();
+    for (cx, cy) in [
+        (120.0, 140.0),
+        (480.0, 110.0),
+        (840.0, 160.0),
+        (150.0, 520.0),
+        (500.0, 490.0),
+        (860.0, 540.0),
+        (130.0, 870.0),
+        (510.0, 880.0),
+    ] {
+        groups.push(
+            NodeGroup::new(12)
+                .mobility(MobilityModel::Stationary)
+                .placement(GroupPlacement::Rect {
+                    min: Vec2::new(cx - 30.0, cy - 30.0),
+                    max: Vec2::new(cx + 30.0, cy + 30.0),
+                }),
+        );
+    }
+    // A thin mobile population keeps the clusters connected so the
+    // broadcast actually crosses the field (and keeps the test honest
+    // about mixed-kind worlds).
+    groups.push(NodeGroup::new(16).mobility(MobilityModel::RandomWalk {
+        change_interval: 20.0,
+    }));
+    let mut builder = WorldSpec::builder()
+        .area(1000.0, 1000.0)
+        .broadcast_window(8.0, 12.0)
+        .seed(7);
+    for g in groups {
+        builder = builder.group(g);
+    }
+    let world = builder.build().expect("valid world");
+    let n = world.n_nodes();
+    let run = |mode: DeliveryMode| {
+        let mut sim = Simulator::from_world(&world, Flooding::new(n, (0.0, 0.1)));
+        sim.set_delivery_mode(mode);
+        let report = sim.run_to_end();
+        (report, sim.sweep_stats())
+    };
+    let (inc, sweep) = run(DeliveryMode::Incremental);
+    let (naive, _) = run(DeliveryMode::Naive);
+    assert!(
+        sweep.cells_culled > 0,
+        "scenario must actually exercise the event horizon (visited {})",
+        sweep.cells_visited
+    );
+    assert_eq!(inc.broadcast, naive.broadcast, "culling lost a receiver");
+    assert_eq!(inc.counters, naive.counters, "culling lost a receiver");
+}

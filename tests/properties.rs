@@ -605,3 +605,147 @@ proptest! {
         prop_assert_eq!(parsed.spec_string(), text);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn batched_sweep_bit_identical_to_scalar_filter(
+        seed in 0u64..100_000,
+        n in 1usize..64,
+        cell in 20.0f64..80.0,
+        n_queries in 2usize..6,
+    ) {
+        // The PR-7 tentpole pin, posed directly on the filter pair (the
+        // full-simulation version lives in the delivery-mode agreement
+        // suites above): on random kinematic snapshots mixing all three
+        // SegmentKinds — with some nodes placed exactly on cell
+        // boundaries — the batched lane sweep must return the *bit-exact*
+        // survivors, positions and squared distances of the scalar
+        // per-candidate filter, across a sequence of queries with
+        // mid-sweep segment re-anchoring (grid moves + bound
+        // invalidation) between them.
+        use manet::geometry::{Field, Vec2};
+        use manet::mobility::{KinematicSegment, SegmentKind};
+        use manet::snapshot::KinematicSnapshot;
+        use manet::sweep::DeliverySweep;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let side = 400.0;
+        let field = Field::new(side, side);
+        // A segment anchored at `p` at time `t0`, of a random kind; the
+        // waypoint leg is physically constructed (velocity = displacement,
+        // arrival from a real speed) so the event-horizon speed bound sees
+        // the same data shapes the simulator produces.
+        let make_segment = |rng: &mut SmallRng, p: Vec2, t0: f64| {
+            match rng.gen_range(0u32..3) {
+                0 => KinematicSegment {
+                    kind: SegmentKind::Still,
+                    origin: p,
+                    velocity: Vec2::new(0.0, 0.0),
+                    t0,
+                    arrival: f64::INFINITY,
+                    dest: p,
+                },
+                1 => KinematicSegment {
+                    kind: SegmentKind::Walk,
+                    origin: p,
+                    velocity: Vec2::new(rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)),
+                    t0,
+                    arrival: f64::INFINITY,
+                    dest: p,
+                },
+                _ => {
+                    let dest = Vec2::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+                    let speed = rng.gen_range(0.5..2.0);
+                    KinematicSegment {
+                        kind: SegmentKind::Waypoint,
+                        origin: p,
+                        velocity: dest - p,
+                        t0,
+                        arrival: t0 + p.distance(dest) / speed,
+                        dest,
+                    }
+                }
+            }
+        };
+        // Half the placements are snapped to an exact cell-boundary
+        // multiple — the coordinates where a float disagreement between
+        // the two filters' cell walks would surface.
+        let place = |rng: &mut SmallRng| {
+            let coord = |rng: &mut SmallRng| {
+                if rng.gen_bool(0.5) {
+                    (rng.gen_range(0.0..side / cell).floor() * cell).min(side)
+                } else {
+                    rng.gen_range(0.0..side)
+                }
+            };
+            Vec2::new(coord(rng), coord(rng))
+        };
+        let starts: Vec<Vec2> = (0..n).map(|_| place(&mut rng)).collect();
+        let segs: Vec<KinematicSegment> =
+            starts.iter().map(|&p| make_segment(&mut rng, p, 0.0)).collect();
+        let mut snap = KinematicSnapshot::new(field);
+        snap.rebuild(field, segs.iter().copied());
+        let mut grid = SpatialGrid::new(field, cell);
+        grid.rebuild(n, 0.0, |i| starts[i]);
+        let mut sweep = DeliverySweep::new();
+        sweep.reset(grid.geometry().n_cells(), n);
+
+        let scalar = |grid: &SpatialGrid,
+                      snap: &KinematicSnapshot,
+                      center: Vec2,
+                      t: f64,
+                      radius: f64| {
+            let r2 = radius * radius;
+            let mut out: Vec<(usize, Vec2, f64)> = Vec::new();
+            grid.for_each_in_cells(center, radius + manet::GRID_BUCKET_SLACK_M, |i| {
+                let p = snap.position(i, t);
+                let d2 = p.distance_sq(center);
+                if d2 <= r2 {
+                    out.push((i, p, d2));
+                }
+            });
+            out.sort_unstable_by_key(|&(i, _, _)| i);
+            out
+        };
+
+        let mut got: Vec<(usize, Vec2, f64)> = Vec::new();
+        for q in 0..n_queries {
+            let t = q as f64 * 1.5;
+            let center = place(&mut rng);
+            let radius = rng.gen_range(10.0..150.0);
+            got.clear();
+            sweep.filter_into(
+                &grid,
+                &snap,
+                center,
+                t,
+                radius,
+                manet::GRID_BUCKET_SLACK_M,
+                &mut got,
+            );
+            let want = scalar(&grid, &snap, center, t, radius);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.0, w.0);
+                prop_assert_eq!(g.1.x.to_bits(), w.1.x.to_bits());
+                prop_assert_eq!(g.1.y.to_bits(), w.1.y.to_bits());
+                prop_assert_eq!(g.2.to_bits(), w.2.to_bits());
+            }
+            // Mid-sweep re-anchoring: a few nodes get fresh segments at
+            // the query time, anchored at their exact current position,
+            // with the same grid-move + bound-invalidation discipline the
+            // simulator follows (update, then invalidate the new cell).
+            for _ in 0..rng.gen_range(0usize..4).min(n) {
+                let i = rng.gen_range(0..n);
+                let p = snap.position(i, t);
+                snap.set(i, make_segment(&mut rng, p, t));
+                grid.update_node(i, p);
+                sweep.invalidate_cell(grid.node_cell(i));
+            }
+        }
+    }
+}

@@ -355,6 +355,33 @@ fn bench_lane_sweep(c: &mut Criterion) {
     g.finish();
 }
 
+/// The PR-8 tentpole end to end: the same dense incremental simulation
+/// resolved with 1, 2 and 4 stripe workers
+/// ([`Simulator::set_delivery_shards`]). Outcomes are bit-identical at
+/// every shard count, so the spread is pure scheduling: stripe-parallel
+/// query resolution against its sequential merge and batching overhead.
+/// On a single-core runner the 2/4-shard rows measure that overhead
+/// alone; the speedup only appears with real cores.
+fn bench_sharded_query(c: &mut Criterion) {
+    use manet::protocol::Flooding;
+    let mut g = c.benchmark_group("sharded_query");
+    g.sample_size(10);
+    let scenario = DenseScenario::new(200, 500);
+    for shards in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("shards", shards), &shards, |b, &shards| {
+            let cfg = scenario.sim_config(0);
+            let n = cfg.n_nodes;
+            let mut sim = Simulator::new(cfg.clone(), Flooding::new(n, (0.0, 0.1)));
+            sim.set_delivery_shards(shards);
+            b.iter(|| {
+                sim.reset_with(cfg.clone(), |p| *p = Flooding::new(n, (0.0, 0.1)));
+                sim.run_to_end().broadcast.coverage()
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_single_simulation,
@@ -363,6 +390,7 @@ criterion_group!(
     bench_deliveries_grid_vs_naive,
     bench_grid_modes,
     bench_candidate_filter,
-    bench_lane_sweep
+    bench_lane_sweep,
+    bench_sharded_query
 );
 criterion_main!(benches);

@@ -3,9 +3,9 @@
 //! [`DenseScenario`]s (hundreds of nodes) that the simulator's spatial
 //! grid makes tractable.
 //!
-//! # The `bench-scale-v5` artifact schema
+//! # The `bench-scale-v6` artifact schema
 //!
-//! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v5"`
+//! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v6"`
 //! so the performance trajectory stays machine-readable across PRs (and so
 //! CI can fail on regressions — see `scripts/check_bench_regression.py`).
 //! The artifact is emitted by [`ScaleArtifact`] in this module — the one
@@ -15,7 +15,11 @@
 //! a fixed reference workload (the 500@200 preset, full protocol,
 //! min-of-3) measured in the same job, which turns per-row absolute wall
 //! times into runner-speed-independent ratios the regression gate can
-//! hold ceilings against. Per scenario row ([`ScaleRow`]):
+//! hold ceilings against, and a top-level `host_parallelism` records
+//! `std::thread::available_parallelism()` of the measuring host so
+//! shard-speedup floors can be gated on runners that actually have the
+//! cores (`min_host_parallelism` in `scripts/perf_floors.json`). Per
+//! scenario row ([`ScaleRow`]):
 //!
 //! | field | meaning |
 //! |---|---|
@@ -23,6 +27,7 @@
 //! | `nodes`, `per_km2`, `shadowing_sigma_db` | the [`DenseScenario`] (nodes = total across groups) |
 //! | `beacons_per_sec`, `coverage` | workload sanity numbers (identical across modes, asserted in-run) |
 //! | `incremental_s`, `rebuild_s`, `naive_s` | end-to-end wall time per delivery mode (`naive_s` is `null` above the naive cap) |
+//! | `shards`, `sharded_s` | **new in v6**: shard count and end-to-end wall time of the space-sharded incremental run (`Simulator::set_delivery_shards`); both `null` when sharding was not measured, both present otherwise |
 //! | `incremental_filter_s`, `incremental_outcome_s` | candidate-filter vs receive-outcome split of the incremental query (`Simulator::query_profile`) |
 //! | `incremental_interference_s` | interference+capture share of `incremental_outcome_s` (the phase the spatialised active window optimises; always ≤ the outcome time) |
 //! | `rebuild_filter_s`, `rebuild_outcome_s` | the same split for the horizon-rebuild baseline, whose verbatim single-loop shape has no finer split |
@@ -30,10 +35,12 @@
 //! | `sweep_cells_visited`, `sweep_cells_culled` | **new in v5**: non-empty cells the incremental run's batched sweep reached, and how many the event horizon skipped whole ([`manet::SweepStats`]; culled ≤ visited) |
 //! | `sweep_batched_candidates`, `sweep_scalar_candidates` | **new in v5**: candidates evaluated by full-width chunk kernels vs the scalar fallback (mixed-kind chunks + per-query tails) |
 //! | `peak_rss_bytes` | process peak RSS high-water mark when the row finished ([`peak_rss_bytes`]) |
-//! | `speedup_rebuild_over_incremental`, `speedup_naive_over_incremental` | the headline ratios CI's perf gate checks against committed floors — derived by the emitter from the wall-time columns, never hand-set |
+//! | `speedup_rebuild_over_incremental`, `speedup_naive_over_incremental`, `speedup_sharded_over_incremental` | the headline ratios CI's perf gate checks against committed floors — derived by the emitter from the wall-time columns, never hand-set (`speedup_sharded_over_incremental` = `incremental_s / sharded_s`, `null` when unsharded) |
 //!
 //! The trailing `batched_eval` object records one batched AEDB evaluation
-//! posed directly on the first dense scenario. v4 → v5 added the four
+//! posed directly on the first dense scenario. v5 → v6 added the
+//! `shards`/`sharded_s` columns, the derived sharded speedup and the
+//! top-level `host_parallelism`; v4 → v5 added the four
 //! sweep counters and moved emission into [`ScaleArtifact`]; v3 → v4
 //! added `spec`, the `calibration` object and the absolute-ceiling gate
 //! contract; v2 → v3 added `incremental_interference_s` and the
@@ -63,10 +70,10 @@ pub fn peak_rss_bytes() -> Option<u64> {
 
 /// Schema identifier written by [`ScaleArtifact::to_json`]; bump it here
 /// (and in `scripts/check_bench_schema.py`) when the field list changes.
-pub const SCALE_SCHEMA: &str = "bench-scale-v5";
+pub const SCALE_SCHEMA: &str = "bench-scale-v6";
 
 /// One scenario row of the scale artifact — the measured columns of the
-/// v5 schema (see the module docs for the field table). The speedup
+/// v6 schema (see the module docs for the field table). The speedup
 /// columns are *derived* from the wall times at emission, so they cannot
 /// disagree with the ratios they summarise.
 #[derive(Debug, Clone)]
@@ -89,6 +96,12 @@ pub struct ScaleRow {
     pub rebuild_s: f64,
     /// End-to-end wall time of the naive O(n²) scan; `None` above the cap.
     pub naive_s: Option<f64>,
+    /// Shard count of the space-sharded incremental run; `None` when
+    /// sharding was not measured for this row.
+    pub shards: Option<usize>,
+    /// End-to-end wall time of the sharded incremental run; present
+    /// exactly when `shards` is.
+    pub sharded_s: Option<f64>,
     /// Candidate-filter share of the incremental query.
     pub incremental_filter_s: f64,
     /// Receive-outcome share of the incremental query.
@@ -129,6 +142,9 @@ pub struct ScaleArtifact {
     /// Wall time of the fixed calibration workload (500@200 full
     /// protocol, min-of-3) measured in the same job.
     pub calibration_seconds: f64,
+    /// `std::thread::available_parallelism()` of the measuring host —
+    /// the gate key for shard-speedup floors (`min_host_parallelism`).
+    pub host_parallelism: usize,
     /// One row per dense scenario, in run order.
     pub rows: Vec<ScaleRow>,
     /// The trailing batched-evaluation record.
@@ -163,6 +179,7 @@ impl ScaleArtifact {
                  \"nodes\": {}, \"per_km2\": {}, \"shadowing_sigma_db\": {}, \
                  \"beacons_per_sec\": {}, \"coverage\": {},\n     \
                  \"incremental_s\": {}, \"rebuild_s\": {}, \"naive_s\": {},\n     \
+                 \"shards\": {}, \"sharded_s\": {},\n     \
                  \"incremental_filter_s\": {}, \"incremental_outcome_s\": {},\n     \
                  \"incremental_interference_s\": {},\n     \
                  \"rebuild_filter_s\": {}, \"rebuild_outcome_s\": {},\n     \
@@ -171,7 +188,8 @@ impl ScaleArtifact {
                  \"sweep_batched_candidates\": {}, \"sweep_scalar_candidates\": {},\n     \
                  \"peak_rss_bytes\": {},\n     \
                  \"speedup_rebuild_over_incremental\": {}, \
-                 \"speedup_naive_over_incremental\": {}}}",
+                 \"speedup_naive_over_incremental\": {}, \
+                 \"speedup_sharded_over_incremental\": {}}}",
                 r.spec,
                 r.nodes,
                 r.per_km2,
@@ -181,6 +199,8 @@ impl ScaleArtifact {
                 json_num(r.incremental_s),
                 json_num(r.rebuild_s),
                 json_opt(r.naive_s),
+                r.shards.map_or("null".into(), |s| s.to_string()),
+                json_opt(r.sharded_s),
                 json_num(r.incremental_filter_s),
                 json_num(r.incremental_outcome_s),
                 json_num(r.incremental_interference_s),
@@ -195,6 +215,7 @@ impl ScaleArtifact {
                 r.peak_rss_bytes.map_or("null".into(), |b| b.to_string()),
                 json_num(r.rebuild_s / r.incremental_s),
                 json_opt(r.naive_s.map(|n| n / r.incremental_s)),
+                json_opt(r.sharded_s.map(|s| r.incremental_s / s)),
             );
         }
         let b = &self.batched_eval;
@@ -202,10 +223,12 @@ impl ScaleArtifact {
             "{{\n  \"schema\": \"{SCALE_SCHEMA}\",\n  \
              \"calibration\": {{\"workload\": \"500@200 full protocol, min of 3\", \
              \"seconds\": {}}},\n  \
+             \"host_parallelism\": {},\n  \
              \"scenarios\": [\n{rows}\n  ],\n  \
              \"batched_eval\": {{\"nodes\": {}, \"candidates\": {}, \
              \"networks\": {}, \"seconds\": {}}}\n}}\n",
             json_num(self.calibration_seconds),
+            self.host_parallelism,
             b.nodes,
             b.candidates,
             b.networks,
@@ -238,6 +261,10 @@ pub struct ExperimentScale {
     /// Beyond-paper dense scenarios (`--dense nodes@density,...`); the
     /// scale experiments iterate these.
     pub dense: Vec<DenseScenario>,
+    /// Delivery shard count for the sharded scale runs (`--shards N`);
+    /// `0` means auto — the runner picks from the host's available
+    /// parallelism.
+    pub shards: usize,
 }
 
 impl Default for ExperimentScale {
@@ -250,6 +277,7 @@ impl Default for ExperimentScale {
             paper: false,
             fast_samples: 129,
             dense: vec![DenseScenario::PRESETS[0].clone()],
+            shards: 0,
         }
     }
 }
@@ -265,12 +293,13 @@ impl ExperimentScale {
             paper: true,
             fast_samples: 1001,
             dense: DenseScenario::PRESETS.to_vec(),
+            shards: 0,
         }
     }
 
     /// Parses flags from `std::env::args`:
     /// `--paper`, `--reps N`, `--evals N`, `--networks N`,
-    /// `--densities 100,200,300`, `--fast-samples N`.
+    /// `--densities 100,200,300`, `--fast-samples N`, `--shards N`.
     pub fn from_args() -> Self {
         Self::parse(std::env::args().skip(1))
     }
@@ -288,6 +317,7 @@ impl ExperimentScale {
                 "--fast-samples" => {
                     scale.fast_samples = expect_num(&mut it, "--fast-samples") as usize
                 }
+                "--shards" => scale.shards = expect_num(&mut it, "--shards") as usize,
                 "--densities" => {
                     let v = it
                         .next()
@@ -310,7 +340,7 @@ impl ExperimentScale {
                          --densities 100,200,300 \
                          --dense 500@200,2000@200@4,500@200+50:still:10dbm \
                          (nodes@density[@shadowing_db][+n[:still|:walkI|:rwpP][:POWERdbm]...]) \
-                         --fast-samples N"
+                         --fast-samples N --shards N (0 = auto from host parallelism)"
                     );
                     std::process::exit(0);
                 }
@@ -385,6 +415,13 @@ mod tests {
         assert_eq!(s.reps, 7);
         assert_eq!(s.evals, 500);
         assert_eq!(s.densities, vec![Density::D200, Density::D300]);
+    }
+
+    #[test]
+    fn shards_flag_defaults_to_auto() {
+        assert_eq!(parse(&[]).shards, 0, "0 = auto-pick from host cores");
+        assert_eq!(parse(&["--paper"]).shards, 0);
+        assert_eq!(parse(&["--shards", "2"]).shards, 2);
     }
 
     #[test]

@@ -340,6 +340,12 @@ impl<T> SpatialActiveWindow<T> {
     /// `seq` to replay global insertion order. Conservative in the same
     /// sense as the node grid: the caller still applies its exact per-frame
     /// tests, so visiting extra cells can never change an outcome.
+    ///
+    /// Takes `&self` and touches no interior mutability, so shard workers
+    /// gather from one shared window concurrently while resolving a
+    /// delivery batch (`World::flush_sharded`); sorting by `seq` then
+    /// replays the same global insertion order on every worker, keeping
+    /// interference sums bit-identical to the sequential pass.
     pub fn gather_into(&self, center: Vec2, radius: f64, out: &mut Vec<(u64, T)>)
     where
         T: Copy,

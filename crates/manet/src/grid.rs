@@ -86,6 +86,28 @@ impl CellGeometry {
         cy * self.cols + cx
     }
 
+    /// Number of cell columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Which of `shards` contiguous column stripes owns the cell column
+    /// containing `p`.
+    ///
+    /// Stripes partition the columns `0..cols` into `shards` contiguous,
+    /// monotone ranges (`col * shards / cols`, clamped), so every position
+    /// has exactly one owner and neighbouring columns land in the same or
+    /// adjacent stripes. The sharded delivery path
+    /// ([`crate::sim::Simulator::set_delivery_shards`]) assigns each queued
+    /// transmission to the stripe of its *sender*; the query itself reads
+    /// whatever cells its disc overlaps (the stripe's halo), so stripe
+    /// boundaries never constrain which receivers a query can reach.
+    pub fn stripe_of(&self, p: Vec2, shards: usize) -> usize {
+        debug_assert!(shards >= 1, "stripe_of requires at least one shard");
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
+        (cx * shards / self.cols).min(shards - 1)
+    }
+
     /// Distance (m) from `p` to the nearest boundary of the cell that
     /// contains it — the incremental refresh scheduler divides this by the
     /// node's speed bound to find the earliest possible cell crossing.
@@ -401,6 +423,38 @@ impl SpatialGrid {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stripes_partition_columns_contiguously() {
+        let geom = CellGeometry::new(Field::new(2300.0, 900.0), 100.0);
+        for shards in [1usize, 2, 3, 7, 23, 64] {
+            let mut last = 0usize;
+            let mut seen_cols = 0usize;
+            for cx in 0..geom.cols() {
+                let p = Vec2::new((cx as f64 + 0.5) * geom.cell_size(), 10.0);
+                let s = geom.stripe_of(p, shards);
+                assert!(s < shards, "stripe index within range");
+                assert!(s >= last, "stripes are monotone in the column index");
+                if shards <= geom.cols() {
+                    // With at most one shard per column, owned stripes
+                    // are contiguous; more shards than columns leaves
+                    // some shards column-less (indices may skip).
+                    assert!(s - last <= 1, "stripes are contiguous (no gaps)");
+                }
+                last = s;
+                seen_cols += 1;
+            }
+            assert_eq!(seen_cols, geom.cols());
+            // More shards than columns still covers every column with a
+            // single unambiguous owner.
+            if shards <= geom.cols() {
+                assert_eq!(last, shards - 1, "every stripe owns at least a column");
+            }
+        }
+        // Boundary clamp: x == width lands in the last column's stripe.
+        let p = Vec2::new(2300.0, 0.0);
+        assert_eq!(geom.stripe_of(p, 4), 3);
+    }
 
     fn brute_force(pts: &[Vec2], center: Vec2, radius: f64) -> Vec<usize> {
         let mut v: Vec<usize> = (0..pts.len())

@@ -1,0 +1,292 @@
+//! A tiny persistent worker pool for space-sharded delivery resolution.
+//!
+//! The sharded delivery path ([`Simulator::set_delivery_shards`]) flushes a
+//! batch of queued beacon deliveries a few hundred thousand times per large
+//! run, and each flush carries only tens of microseconds of work. Spawning
+//! scoped threads per flush (or going through the vendored `rayon`'s
+//! per-call `par_map_indexed`) costs more than the work itself, so the pool
+//! keeps `shards - 1` helper threads alive for the lifetime of the
+//! simulator and hands them *borrowed* closures:
+//!
+//! * [`ShardPool::run`] publishes a type-erased pointer to a caller-stack
+//!   closure, bumps an epoch counter, runs shard 0 on the calling thread,
+//!   and then waits until every helper has finished. Because the caller
+//!   blocks inside `run`, the borrowed closure (and everything it
+//!   references) outlives the helpers' use of it — the `unsafe` erasure is
+//!   contained in this module.
+//! * Helpers spin briefly on the epoch (the common case: flushes arrive
+//!   back-to-back while a batch drains), yielding periodically so
+//!   oversubscribed hosts still make progress, and park on a condvar when
+//!   the simulator goes quiet between batches.
+//!
+//! The pool is deliberately *not* a general executor: one job at a time,
+//! caller participates as shard 0, helpers are indexed `1..shards` so a
+//! job can slice mutable per-shard state by worker index without locks.
+//!
+//! [`Simulator::set_delivery_shards`]: crate::sim::Simulator::set_delivery_shards
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Spin iterations a helper burns on the epoch before parking on the
+/// condvar. Flushes inside a busy run arrive well within this window; the
+/// periodic `yield_now` keeps single-core hosts live.
+const SPIN_LIMIT: u32 = 4096;
+
+/// A type-erased borrowed job: a pointer to a caller-stack closure plus
+/// the monomorphised trampoline that invokes it with a worker index.
+///
+/// Safety: the pointer is only dereferenced while [`ShardPool::run`] is
+/// blocked waiting for helpers, so the closure is always alive.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+}
+
+// SAFETY: `data` points at a closure that is `Sync` (enforced by the
+// bound on `run`) and outlives every use (the caller blocks in `run`).
+unsafe impl Send for Job {}
+
+struct Shared {
+    /// Bumped once per published job; helpers watch it for work.
+    epoch: AtomicU64,
+    /// Helpers still running the current job; `run` waits for zero.
+    active: AtomicUsize,
+    /// Helpers currently parked on the condvar (fast-path notify guard).
+    parked: AtomicUsize,
+    shutdown: AtomicBool,
+    /// The published job. Written under the mutex *before* the epoch bump
+    /// so a woken helper always observes it.
+    job: Mutex<Option<Job>>,
+    cv: Condvar,
+}
+
+/// Persistent spin-then-park pool of `helpers` threads; the caller of
+/// [`run`](ShardPool::run) acts as worker 0.
+pub struct ShardPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("helpers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl ShardPool {
+    /// Spawn a pool with `helpers` background threads (worker indices
+    /// `1..=helpers`; index 0 is the calling thread inside `run`).
+    pub fn new(helpers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            active: AtomicUsize::new(0),
+            parked: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            job: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let handles = (1..=helpers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("manet-shard-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardPool { shared, handles }
+    }
+
+    /// Number of background helper threads (total workers is one more).
+    pub fn helpers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `f(worker_index)` once per worker — index 0 on the calling
+    /// thread, indices `1..=helpers` on the pool — and return once every
+    /// invocation has finished. The closure is borrowed for the duration
+    /// of the call, so it may capture references to caller state; mutable
+    /// per-worker state must be sliced by index (each index runs on
+    /// exactly one thread).
+    pub fn run<F: Fn(usize) + Sync>(&self, f: F) {
+        let helpers = self.handles.len();
+        if helpers == 0 {
+            f(0);
+            return;
+        }
+        unsafe fn call<F: Fn(usize) + Sync>(data: *const (), index: usize) {
+            // SAFETY: `data` was erased from an `&F` that the publisher
+            // keeps alive until every helper finished.
+            unsafe { (*(data as *const F))(index) }
+        }
+        let job = Job {
+            data: (&raw const f).cast(),
+            call: call::<F>,
+        };
+        {
+            // Publish under the mutex, then bump the epoch: a helper that
+            // re-checks the epoch under this same mutex before waiting can
+            // never miss the new job.
+            let mut slot = self.shared.job.lock().expect("shard pool poisoned");
+            *slot = Some(job);
+            self.shared.active.store(helpers, Ordering::Relaxed);
+            self.shared.epoch.fetch_add(1, Ordering::Release);
+        }
+        if self.shared.parked.load(Ordering::SeqCst) > 0 {
+            self.shared.cv.notify_all();
+        }
+        f(0);
+        // Wait for the helpers; yield while spinning so helpers actually
+        // get scheduled on hosts with fewer cores than workers.
+        let mut spins = 0u32;
+        while self.shared.active.load(Ordering::Acquire) != 0 {
+            spins = spins.wrapping_add(1);
+            if spins.is_multiple_of(64) {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Take the lock so a helper between its epoch re-check and its
+        // `wait` cannot miss the wake-up.
+        drop(self.shared.job.lock().expect("shard pool poisoned"));
+        self.shared.cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let mut spins = 0u32;
+        let mut epoch = shared.epoch.load(Ordering::Acquire);
+        while epoch == last_epoch && !shared.shutdown.load(Ordering::Relaxed) {
+            if spins < SPIN_LIMIT {
+                spins += 1;
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            } else {
+                shared.parked.fetch_add(1, Ordering::SeqCst);
+                let mut guard = shared.job.lock().expect("shard pool poisoned");
+                while shared.epoch.load(Ordering::Acquire) == last_epoch
+                    && !shared.shutdown.load(Ordering::Relaxed)
+                {
+                    guard = shared.cv.wait(guard).expect("shard pool poisoned");
+                }
+                drop(guard);
+                shared.parked.fetch_sub(1, Ordering::SeqCst);
+                spins = 0;
+            }
+            epoch = shared.epoch.load(Ordering::Acquire);
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        last_epoch = epoch;
+        let job = shared
+            .job
+            .lock()
+            .expect("shard pool poisoned")
+            .expect("epoch advanced without a published job");
+        // SAFETY: the publisher blocks until `active` reaches zero, so the
+        // erased closure is alive for the duration of this call, and each
+        // worker index runs on exactly one thread.
+        unsafe { (job.call)(job.data, index) };
+        shared.active.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_worker_exactly_once() {
+        let pool = ShardPool::new(3);
+        let hits = [
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+            AtomicU64::new(0),
+        ];
+        pool.run(|k| {
+            hits[k].fetch_add(1, Ordering::SeqCst);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn zero_helpers_runs_inline() {
+        let pool = ShardPool::new(0);
+        let seen = std::sync::Mutex::new(Vec::new());
+        pool.run(|k| seen.lock().unwrap().push(k));
+        assert_eq!(seen.into_inner().unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn slices_mutable_state_by_worker_index() {
+        struct SendPtr(*mut u64);
+        unsafe impl Send for SendPtr {}
+        unsafe impl Sync for SendPtr {}
+        impl SendPtr {
+            // A method so the closure captures the `Sync` wrapper, not
+            // the bare raw-pointer field.
+            fn slot(&self, k: usize) -> *mut u64 {
+                unsafe { self.0.add(k) }
+            }
+        }
+
+        let pool = ShardPool::new(2);
+        let mut slots = [0u64; 3];
+        for round in 1..=100u64 {
+            let base = SendPtr(slots.as_mut_ptr());
+            pool.run(|k| {
+                // SAFETY: each index is touched by exactly one worker.
+                unsafe { *base.slot(k) += round * (k as u64 + 1) };
+            });
+        }
+        let sum: u64 = (1..=100u64).sum();
+        assert_eq!(slots, [sum, 2 * sum, 3 * sum]);
+    }
+
+    #[test]
+    fn reuses_workers_across_many_dispatches() {
+        let pool = ShardPool::new(1);
+        let total = AtomicU64::new(0);
+        for _ in 0..10_000 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 20_000);
+        assert_eq!(pool.helpers(), 1);
+    }
+
+    #[test]
+    fn drop_joins_parked_workers() {
+        let pool = ShardPool::new(2);
+        pool.run(|_| {});
+        // Give the helpers time to reach the parked state, then drop.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(pool);
+    }
+}

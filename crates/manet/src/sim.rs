@@ -68,6 +68,15 @@
 //!   asserted error budget), which gives every transmission the finite
 //!   decode range [`crate::radio::RadioConfig::max_decode_range`] the grid
 //!   needs.
+//! * **space-sharded delivery resolution**
+//!   ([`Simulator::set_delivery_shards`]): the grid's columns are split
+//!   into contiguous stripes, beacon-delivery queries are batched and
+//!   each stripe's worker runs the full filter → decode →
+//!   interference/capture pipeline for the queries whose transmitter it
+//!   owns, reading the grid/snapshot/active-window shared and read-only;
+//!   outcomes are merged back in original event order, so reports stay
+//!   **bit-identical at every shard count** (asserted against the naive
+//!   oracle by `tests/determinism.rs` and the property suite).
 //!
 //! Every mode is a conservative pre-filter followed by the exact
 //! received-power test, so all three produce **bit-identical**
@@ -98,6 +107,7 @@ use crate::mobility::{
 use crate::neighbor::{NeighborEntry, NeighborTable};
 use crate::protocol::{Protocol, ProtocolApi};
 use crate::radio::{dbm_to_mw, RadioConfig, INTERFERENCE_FLOOR_DB};
+use crate::shard::ShardPool;
 use crate::snapshot::KinematicSnapshot;
 use crate::sweep::{DeliverySweep, SweepStats};
 use crate::world::{GroupPlacement, WorldSpec};
@@ -329,6 +339,16 @@ pub struct QueryProfile {
     pub interference_s: f64,
 }
 
+impl std::ops::AddAssign for QueryProfile {
+    /// Component-wise sum — the deterministic reduction
+    /// [`Simulator::query_profile`] applies over per-shard profiles.
+    fn add_assign(&mut self, other: QueryProfile) {
+        self.filter_s += other.filter_s;
+        self.outcome_s += other.outcome_s;
+        self.interference_s += other.interference_s;
+    }
+}
+
 /// Simulator state visible to protocols through [`ProtocolApi`].
 struct World {
     /// The compiled scenario — the engine speaks [`WorldSpec`] natively;
@@ -369,10 +389,6 @@ struct World {
     /// cache-friendly lanes the incremental delivery query evaluates
     /// exact positions from (bit-identical to the `mobility` structs).
     snapshot: KinematicSnapshot,
-    /// The batched candidate filter (fixed-width lane sweeps over the
-    /// snapshot plus the per-cell event-horizon cache) driving the
-    /// incremental delivery query — see [`crate::sweep`].
-    sweep: DeliverySweep,
     /// Per-node refresh generation; bumped whenever a node's mobility
     /// segment changes so in-flight [`Event::GridRefresh`]s go stale.
     refresh_gen: Vec<u32>,
@@ -381,22 +397,14 @@ struct World {
     /// Scratch: candidate receiver ids from a grid query (historical
     /// delivery modes).
     candidate_scratch: Vec<usize>,
-    /// Scratch: `(id, exact position, squared distance)` of candidates
-    /// surviving the snapshot filter (incremental mode) — the position
-    /// and distance feed straight into the outcome test.
-    filter_scratch: Vec<(NodeId, Vec2, f64)>,
-    /// One-entry memo of [`decode_radius`](World::decode_radius) keyed by
-    /// the transmit power's bit pattern: the radius costs a `powf` per
-    /// call, every delivery query needs it, and in practice transmissions
-    /// cycle through a handful of power classes (usually one).
-    decode_radius_memo: (u64, f64),
-    /// Scratch: candidates that passed the (log-free) decode test, with
-    /// their received power (NaN = deferred: computed only if the capture
-    /// comparison or a delivery actually needs it).
-    decode_scratch: Vec<(NodeId, Vec2, f64, f64)>,
-    /// Scratch: `(seq, frame)` gathered from the spatial window for the
-    /// current query, sorted by `seq` to replay insertion order.
-    frame_scratch: Vec<(u64, Transmission)>,
+    /// The sequential delivery pipeline's mutable state — sweep, scratch
+    /// buffers, shadow cache and profile, bundled so the sharded path can
+    /// give every worker an identical private copy (see [`QueryScratch`]).
+    scratch: QueryScratch,
+    /// Space-sharded delivery resolution, when enabled
+    /// ([`Simulator::set_delivery_shards`]); `None` keeps the sequential
+    /// path byte-for-byte.
+    shard: Option<Box<ShardedDelivery>>,
     /// Scratch: successful deliveries of the current frame.
     delivery_scratch: Vec<(NodeId, f64)>,
     /// Largest (ε-inflated) interference gating radius of any transmission
@@ -411,21 +419,180 @@ struct World {
     /// `dbm_to_mw(capture_db)`, hoisted out of the per-candidate outcome
     /// test (bit-identical: same input, same `powf`).
     capture_ratio_mw: f64,
+    /// Which delivery path resolves receivers (see [`DeliveryMode`]).
+    mode: DeliveryMode,
+    /// Whether delivery queries sample wall time into the profile.
+    profile_on: bool,
+}
+
+/// The mutable per-worker state of the snapshot delivery pipeline: the
+/// batched candidate sweep, the query scratch buffers, the per-receiver
+/// shadowing cache and the accumulated [`QueryProfile`].
+///
+/// The sequential path owns one instance (`World::scratch`); the sharded
+/// path gives each stripe worker its own, so the *identical* kernel
+/// ([`resolve_query`]) runs with zero shared mutable state. Every field is
+/// either a pure cache of a deterministic function (shadow draws, the
+/// decode-radius memo) or query-local scratch, so worker-private copies
+/// cannot change any outcome.
+#[derive(Debug)]
+struct QueryScratch {
+    /// The batched candidate filter (fixed-width lane sweeps over the
+    /// snapshot plus the per-cell event-horizon cache) driving the
+    /// incremental delivery query — see [`crate::sweep`].
+    sweep: DeliverySweep,
+    /// Scratch: `(id, exact position, squared distance)` of candidates
+    /// surviving the snapshot filter — the position and distance feed
+    /// straight into the outcome test.
+    filtered: Vec<(NodeId, Vec2, f64)>,
+    /// One-entry memo of [`decode_radius`](QueryScratch::decode_radius)
+    /// keyed by the transmit power's bit pattern: the radius costs a
+    /// `powf` per call, every delivery query needs it, and in practice
+    /// transmissions cycle through a handful of power classes.
+    decode_radius_memo: (u64, f64),
+    /// Scratch: candidates that passed the (log-free) decode test, with
+    /// their received power (NaN = deferred: computed only if the capture
+    /// comparison or a delivery actually needs it).
+    decodable: Vec<(NodeId, Vec2, f64, f64)>,
+    /// Scratch: `(seq, frame)` gathered from the spatial window for the
+    /// current query, sorted by `seq` to replay insertion order.
+    frames: Vec<(u64, Transmission)>,
     /// Per-node cache of `link_shadowing_db(·, sender, receiver)` draws
     /// for the receiver currently under evaluation: one draw per
     /// (transmitter, receiver) pair is shared across all of that
     /// transmitter's overlapping frames in the query. Keyed by a
-    /// monotonically bumped epoch so invalidation is O(1).
+    /// monotonically bumped epoch so invalidation is O(1). The draw is a
+    /// pure hash of (σ, seed, sender, receiver), so per-worker caches are
+    /// exact regardless of which worker evaluates which query.
     shadow_val: Vec<f64>,
     shadow_stamp: Vec<u64>,
     shadow_epoch: u64,
-    /// Which delivery path resolves receivers (see [`DeliveryMode`]).
-    mode: DeliveryMode,
-    /// Whether delivery queries sample wall time into `profile`.
-    profile_on: bool,
     /// Accumulated query-phase timings (zeroed on reset).
     profile: QueryProfile,
 }
+
+impl Default for QueryScratch {
+    fn default() -> Self {
+        QueryScratch {
+            sweep: DeliverySweep::new(),
+            filtered: Vec::new(),
+            // `u64::MAX` is a NaN bit pattern, so a real power never
+            // collides with the initial sentinel.
+            decode_radius_memo: (u64::MAX, 0.0),
+            decodable: Vec::new(),
+            frames: Vec::new(),
+            shadow_val: Vec::new(),
+            shadow_stamp: Vec::new(),
+            shadow_epoch: 0,
+            profile: QueryProfile::default(),
+        }
+    }
+}
+
+impl QueryScratch {
+    /// Re-arms the scratch for a world of `n_cells` grid cells and
+    /// `n_nodes` nodes, keeping allocations.
+    fn reset(&mut self, n_cells: usize, n_nodes: usize) {
+        self.sweep.reset(n_cells, n_nodes);
+        self.filtered.clear();
+        self.decodable.clear();
+        self.frames.clear();
+        self.shadow_val.clear();
+        self.shadow_val.resize(n_nodes, 0.0);
+        self.shadow_stamp.clear();
+        self.shadow_stamp.resize(n_nodes, 0);
+        self.shadow_epoch = 0;
+        self.decode_radius_memo = (u64::MAX, 0.0);
+        self.profile = QueryProfile::default();
+    }
+
+    /// The finite radius within which `tx` can possibly be decoded:
+    /// the bounded-tail decode range (shadowing gain truncated at `+4σ`)
+    /// inflated against floating-point rounding at the exact boundary.
+    fn decode_radius(&mut self, radio: &RadioConfig, tx: &Transmission) -> f64 {
+        let bits = tx.tx_dbm.to_bits();
+        if self.decode_radius_memo.0 == bits {
+            return self.decode_radius_memo.1;
+        }
+        let r = radio.max_decode_range(tx.tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON;
+        self.decode_radius_memo = (bits, r);
+        r
+    }
+}
+
+/// The read-only inputs of a delivery query, shared by the sequential
+/// path and (frozen for the duration of a flush) by every shard worker.
+/// All references point into `World` state that only mutates on flush
+/// boundaries: grid updates, snapshot re-anchors and frame-window
+/// insertions come from events that force a flush before they dispatch
+/// (beacon *starts* are the one exception, argued safe in
+/// [`World::flush_sharded`]).
+struct QueryCtx<'a> {
+    grid: &'a SpatialGrid,
+    snapshot: &'a KinematicSnapshot,
+    frames: &'a SpatialActiveWindow<Transmission>,
+    radio: &'a RadioConfig,
+    seed: u64,
+    capture_ratio_mw: f64,
+    /// `max_gate_r.max(hd_reach)` — how far beyond the decode disc the
+    /// frame gather must reach. Growing it between a query's event time
+    /// and its deferred resolution only gathers a superset of frames,
+    /// every extra one skipped by its own gate/overlap test.
+    extra_reach: f64,
+}
+
+/// One worker of the sharded delivery path: a private pipeline scratch
+/// plus the per-query outcome storage the merge step replays.
+#[derive(Debug, Default)]
+struct ShardWorker {
+    scratch: QueryScratch,
+    /// `(query index, first delivery, delivery count)` per owned query of
+    /// the current flush, in ascending query order (each worker scans the
+    /// batch in order, so its results are naturally sorted).
+    results: Vec<(u32, u32, u32)>,
+    /// Flat `(receiver, rx_dbm)` deliveries the `results` ranges index.
+    deliveries: Vec<(NodeId, f64)>,
+    /// Loss tallies of the current flush — order-free u64 sums, folded
+    /// into the world counters at merge time.
+    half_duplex_losses: u64,
+    collision_losses: u64,
+}
+
+/// State of space-sharded delivery resolution (see
+/// [`Simulator::set_delivery_shards`]): queued beacon queries, one
+/// [`ShardWorker`] per stripe and the persistent thread pool.
+struct ShardedDelivery {
+    shards: usize,
+    pool: ShardPool,
+    workers: Vec<ShardWorker>,
+    /// Beacon TxEnds queued since the last flush, in event order.
+    pending: Vec<Transmission>,
+    /// Per-worker result cursors of the merge step (reused scratch).
+    cursors: Vec<usize>,
+}
+
+/// Raw base pointer to the worker array, shareable with the pool's
+/// threads. Safety contract: each worker index is touched by exactly one
+/// thread of a dispatch.
+struct WorkerPtr(*mut ShardWorker);
+unsafe impl Send for WorkerPtr {}
+unsafe impl Sync for WorkerPtr {}
+
+impl WorkerPtr {
+    /// Pointer to worker `k`. A method (rather than direct field access
+    /// in the dispatch closure) so the closure captures the whole `Sync`
+    /// wrapper instead of the bare raw pointer field.
+    fn slot(&self, k: usize) -> *mut ShardWorker {
+        unsafe { self.0.add(k) }
+    }
+}
+
+/// Queued sharded queries are flushed at this batch size even without a
+/// boundary event: stationary worlds can go many simulated seconds
+/// without one, and the batch must not grow with the run length. Flushing
+/// early is always safe — a flush point merely resolves the queued
+/// queries exactly as the sequential path already would have.
+const SHARD_BATCH_CAP: usize = 1024;
 
 /// Outcome of the exact per-receiver delivery test.
 enum Reception {
@@ -461,24 +628,17 @@ impl World {
             broadcast_started: false,
             grid,
             snapshot,
-            sweep: DeliverySweep::new(),
             refresh_gen: Vec::new(),
             refresh_events: 0,
             candidate_scratch: Vec::new(),
-            filter_scratch: Vec::new(),
-            decode_radius_memo: (u64::MAX, 0.0),
-            decode_scratch: Vec::new(),
-            frame_scratch: Vec::new(),
+            scratch: QueryScratch::default(),
+            shard: None,
             delivery_scratch: Vec::new(),
             max_gate_r: 0.0,
             hd_reach: 0.0,
             capture_ratio_mw: 0.0,
-            shadow_val: Vec::new(),
-            shadow_stamp: Vec::new(),
-            shadow_epoch: 0,
             mode: DeliveryMode::default(),
             profile_on: false,
-            profile: QueryProfile::default(),
         };
         let spec = world.spec.clone();
         world.reset(spec);
@@ -581,9 +741,6 @@ impl World {
         self.counters = SimCounters::default();
         self.broadcast_started = false;
         self.candidate_scratch.clear();
-        self.filter_scratch.clear();
-        self.decode_scratch.clear();
-        self.frame_scratch.clear();
         self.delivery_scratch.clear();
         self.max_gate_r = 0.0;
         // Worst-case drift between a receiver and its own frozen frame
@@ -591,12 +748,6 @@ impl World {
         // durations), plus a metre of slack — see `hd_reach`'s field docs.
         let max_duration = spec.radio.beacon_duration.max(spec.radio.data_duration);
         self.capture_ratio_mw = dbm_to_mw(spec.radio.capture_db);
-        self.shadow_val.clear();
-        self.shadow_val.resize(n_nodes, 0.0);
-        self.shadow_stamp.clear();
-        self.shadow_stamp.resize(n_nodes, 0);
-        self.shadow_epoch = 0;
-        self.profile = QueryProfile::default();
         self.max_speed = spec.max_speed();
         self.n_nodes = n_nodes;
         self.spec = spec;
@@ -613,7 +764,18 @@ impl World {
         self.grid.rebuild(n, 0.0, |i| mobility[i].position(0.0));
         self.snapshot
             .rebuild(self.spec.field, mobility.iter().map(|m| m.segment()));
-        self.sweep.reset(self.grid.geometry().n_cells(), n);
+        let n_cells = self.grid.geometry().n_cells();
+        self.scratch.reset(n_cells, n);
+        if let Some(sd) = &mut self.shard {
+            sd.pending.clear();
+            for w in &mut sd.workers {
+                w.scratch.reset(n_cells, n);
+                w.results.clear();
+                w.deliveries.clear();
+                w.half_duplex_losses = 0;
+                w.collision_losses = 0;
+            }
+        }
         self.refresh_gen.clear();
         self.refresh_gen.resize(n, 0);
         for node in 0..n {
@@ -656,7 +818,8 @@ impl World {
             if self.grid.update_node(node, p) {
                 // the node entered a new cell: its event-horizon bound no
                 // longer covers every member
-                self.sweep.invalidate_cell(self.grid.node_cell(node));
+                let cell = self.grid.node_cell(node);
+                self.invalidate_sweep_cell(cell);
             }
         }
         self.schedule_grid_refresh(node);
@@ -675,9 +838,35 @@ impl World {
             self.grid.update_node(node, p);
             // the node's speed/heading (and possibly cell) changed: the
             // cached event horizon of the cell it now occupies is stale
-            self.sweep.invalidate_cell(self.grid.node_cell(node));
+            let cell = self.grid.node_cell(node);
+            self.invalidate_sweep_cell(cell);
         }
         self.schedule_grid_refresh(node);
+    }
+
+    /// Invalidates one cell's cached event horizon in *every* sweep: the
+    /// sequential scratch plus, when sharding is active, each worker's
+    /// private sweep. The callers all run on flush boundaries
+    /// (mobility/refresh events force a flush first), so no batch is in
+    /// flight while a bound goes stale.
+    fn invalidate_sweep_cell(&mut self, cell: usize) {
+        self.scratch.sweep.invalidate_cell(cell);
+        if let Some(sd) = &mut self.shard {
+            for w in &mut sd.workers {
+                w.scratch.sweep.invalidate_cell(cell);
+            }
+        }
+    }
+
+    /// Invalidates every cached event horizon in every sweep (see
+    /// [`invalidate_sweep_cell`](Self::invalidate_sweep_cell)).
+    fn invalidate_sweep_all(&mut self) {
+        self.scratch.sweep.invalidate_all();
+        if let Some(sd) = &mut self.shard {
+            for w in &mut sd.workers {
+                w.scratch.sweep.invalidate_all();
+            }
+        }
     }
 
     fn position(&self, node: NodeId, t: f64) -> Vec2 {
@@ -792,19 +981,16 @@ impl World {
         }
     }
 
-    /// The finite radius within which `tx` can possibly be decoded:
-    /// the bounded-tail decode range (shadowing gain truncated at `+4σ`)
-    /// inflated against floating-point rounding at the exact boundary.
-    fn decode_radius(&mut self, tx: &Transmission) -> f64 {
-        let bits = tx.tx_dbm.to_bits();
-        if self.decode_radius_memo.0 == bits {
-            return self.decode_radius_memo.1;
+    /// Folds a query's loss tallies (from [`resolve_query`]) into the
+    /// world counters — the counting equivalent of per-receiver
+    /// [`record_loss`](World::record_loss) calls: u64 sums, so applying
+    /// them per receiver or in bulk is identical.
+    fn apply_losses(&mut self, tx: &Transmission, half_duplex: u64, collided: u64) {
+        self.counters.half_duplex_losses += half_duplex;
+        self.counters.collision_losses += collided;
+        if tx.kind == FrameKind::Data {
+            self.metrics.collisions += (half_duplex + collided) as usize;
         }
-        let r = self.spec.radio.max_decode_range(tx.tx_dbm) * (1.0 + RANGE_EPSILON) + RANGE_EPSILON;
-        // `u64::MAX` is a NaN bit pattern, so a real power never collides
-        // with the initial sentinel.
-        self.decode_radius_memo = (bits, r);
-        r
     }
 
     /// Successful receivers of `tx` under propagation, half-duplex and
@@ -868,160 +1054,17 @@ impl World {
         out: &mut Vec<(NodeId, f64)>,
         t_start: Option<Instant>,
     ) {
-        let mut filtered = std::mem::take(&mut self.filter_scratch);
-        filtered.clear();
-        // Buckets are exact up to the refresh slack; stored positions may
-        // be older than the bucket, so walk whole cells (inflated by the
-        // slack) and filter on *current* exact positions from the lanes —
-        // batched into fixed-width chunk kernels by the sweep, which also
-        // skips cells its event-horizon cache proves out of decode reach
-        // (see `crate::sweep` for the bit-exactness argument).
-        let r = self.decode_radius(tx);
-        let t = tx.end;
-        self.sweep.filter_into(
-            &self.grid,
-            &self.snapshot,
-            tx.pos,
-            t,
-            r,
-            GRID_BUCKET_SLACK_M,
-            &mut filtered,
-        );
-        // Ascending node order: delivery order feeds protocol callbacks
-        // (and their RNG draws), so every mode must match the naive scan.
-        // The sweep evaluates its gathered ids in sorted order, so the
-        // survivors arrive exactly as the historical post-filter sort
-        // left them.
-        debug_assert!(filtered.windows(2).all(|w| w[0].0 < w[1].0));
-        let t_mid = self.profile_on.then(Instant::now);
-
-        // Frames that can matter to *any* candidate of this query, in
-        // global insertion order (sequence numbers are shared with the
-        // flat window, so sorting by them replays its exact iteration
-        // order).
-        let mut frames = std::mem::take(&mut self.frame_scratch);
-        frames.clear();
-        self.frames
-            .gather_into(tx.pos, r + self.max_gate_r.max(self.hd_reach), &mut frames);
-        frames.sort_unstable_by_key(|&(seq, _)| seq);
-
-        let pl = self.spec.radio.path_loss;
-        let sens = self.spec.radio.rx_sensitivity_dbm;
-        let sigma = self.spec.radio.shadowing_sigma_db;
-        let seed = self.spec.seed;
-
-        // Pass 1 — decode. `rx = NaN` marks a deferred received power (the
-        // certain-decode fast path never evaluated the `log10`).
-        let mut decodable = std::mem::take(&mut self.decode_scratch);
-        decodable.clear();
-        if sigma <= 0.0 {
-            for &(i, p, d2) in &filtered {
-                if i == tx.sender {
-                    continue;
-                }
-                if d2 <= tx.decode_lo_r2 {
-                    decodable.push((i, p, d2, f64::NAN));
-                } else if d2 > tx.decode_hi_r2 {
-                    // provably below sensitivity: the historical
-                    // OutOfRange branch, which records nothing
-                } else {
-                    // in the hair-thin threshold band: exact dB test
-                    let rx = pl.rx_dbm(tx.tx_dbm, d2.sqrt());
-                    if rx >= sens {
-                        decodable.push((i, p, d2, rx));
-                    }
-                }
-            }
-        } else {
-            for &(i, p, d2) in &filtered {
-                if i == tx.sender {
-                    continue;
-                }
-                let rx = pl.rx_dbm(tx.tx_dbm, d2.sqrt())
-                    + crate::radio::link_shadowing_db(sigma, seed, tx.sender, i);
-                if rx >= sens {
-                    decodable.push((i, p, d2, rx));
-                }
-            }
-        }
-
-        // Pass 2 — interference + capture per decodable receiver.
-        let t_int = self.profile_on.then(Instant::now);
-        let floor = sens - INTERFERENCE_FLOOR_DB;
-        let capture_ratio = self.capture_ratio_mw;
-        for &(rid, rpos, d2, rx0) in &decodable {
-            let interference = if sigma <= 0.0 {
-                // Unshadowed: skip by the exact floor threshold, add no
-                // shadow term (link_shadowing_db is identically 0 here,
-                // so the accumulated terms match the historical loop
-                // bit-for-bit).
-                interference_sum(
-                    tx,
-                    rid,
-                    rpos,
-                    &frames,
-                    pl,
-                    floor,
-                    |o| o.floor_hi_r2,
-                    |_| 0.0,
-                )
-            } else {
-                // One shadowing draw per (transmitter, receiver) pair,
-                // shared across all of that transmitter's overlapping
-                // frames in this query.
-                self.shadow_epoch += 1;
-                let epoch = self.shadow_epoch;
-                let stamps = &mut self.shadow_stamp;
-                let vals = &mut self.shadow_val;
-                interference_sum(
-                    tx,
-                    rid,
-                    rpos,
-                    &frames,
-                    pl,
-                    floor,
-                    |o| o.gate_r2,
-                    |sender| {
-                        if stamps[sender] == epoch {
-                            vals[sender]
-                        } else {
-                            let v = crate::radio::link_shadowing_db(sigma, seed, sender, rid);
-                            stamps[sender] = epoch;
-                            vals[sender] = v;
-                            v
-                        }
-                    },
-                )
-            };
-            let outcome = if let Some(interference_mw) = interference {
-                let rx = if rx0.is_nan() {
-                    pl.rx_dbm(tx.tx_dbm, d2.sqrt())
-                } else {
-                    rx0
-                };
-                if interference_mw > 0.0 && dbm_to_mw(rx) < capture_ratio * interference_mw {
-                    Reception::Collided
-                } else {
-                    Reception::Delivered(rx)
-                }
-            } else {
-                Reception::HalfDuplex
-            };
-            self.record_loss(tx, &outcome);
-            if let Reception::Delivered(rx_dbm) = outcome {
-                out.push((rid, rx_dbm));
-            }
-        }
-
-        self.filter_scratch = filtered;
-        self.frame_scratch = frames;
-        self.decode_scratch = decodable;
-        if let (Some(start), Some(mid), Some(intf)) = (t_start, t_mid, t_int) {
-            let done = Instant::now();
-            self.profile.filter_s += (mid - start).as_secs_f64();
-            self.profile.outcome_s += (done - mid).as_secs_f64();
-            self.profile.interference_s += (done - intf).as_secs_f64();
-        }
+        let ctx = QueryCtx {
+            grid: &self.grid,
+            snapshot: &self.snapshot,
+            frames: &self.frames,
+            radio: &self.spec.radio,
+            seed: self.spec.seed,
+            capture_ratio_mw: self.capture_ratio_mw,
+            extra_reach: self.max_gate_r.max(self.hd_reach),
+        };
+        let (half_duplex, collided) = resolve_query(&ctx, &mut self.scratch, tx, t_start, out);
+        self.apply_losses(tx, half_duplex, collided);
     }
 
     /// The historical delivery queries, kept verbatim as measured
@@ -1049,7 +1092,8 @@ impl World {
                 // A node bucketed at the last rebuild can have drifted at
                 // most v_max · staleness from its stored position.
                 let staleness = (t - self.grid.built_at()).max(0.0);
-                let radius = self.decode_radius(tx) + self.max_speed * staleness;
+                let radius =
+                    self.scratch.decode_radius(&self.spec.radio, tx) + self.max_speed * staleness;
                 self.grid.candidates_within(tx.pos, radius, &mut candidates);
             }
             DeliveryMode::Incremental => unreachable!("handled by the snapshot path"),
@@ -1077,9 +1121,179 @@ impl World {
     /// Folds one query's phase timings into the accumulated profile.
     fn record_profile(&mut self, t_start: Option<Instant>, t_mid: Option<Instant>) {
         if let (Some(start), Some(mid)) = (t_start, t_mid) {
-            self.profile.filter_s += (mid - start).as_secs_f64();
-            self.profile.outcome_s += mid.elapsed().as_secs_f64();
+            self.scratch.profile.filter_s += (mid - start).as_secs_f64();
+            self.scratch.profile.outcome_s += mid.elapsed().as_secs_f64();
         }
+    }
+
+    /// (Re)configures space-sharded delivery resolution: `shards ≤ 1`
+    /// restores the sequential path, anything larger builds (or resizes)
+    /// the worker pool. Any queued batch is flushed first, so the switch
+    /// is transparent to results.
+    fn set_delivery_shards(&mut self, shards: usize) {
+        let shards = shards.max(1);
+        self.flush_sharded();
+        if shards == 1 {
+            self.shard = None;
+            return;
+        }
+        if let Some(sd) = &self.shard {
+            if sd.shards == shards {
+                return;
+            }
+        }
+        let n_cells = self.grid.geometry().n_cells();
+        let n = self.n_nodes;
+        let workers = (0..shards)
+            .map(|_| {
+                let mut w = ShardWorker::default();
+                w.scratch.reset(n_cells, n);
+                w
+            })
+            .collect();
+        self.shard = Some(Box::new(ShardedDelivery {
+            shards,
+            pool: ShardPool::new(shards - 1),
+            workers,
+            pending: Vec::new(),
+            cursors: Vec::new(),
+        }));
+    }
+
+    /// Queues a beacon TxEnd for the next sharded flush instead of
+    /// resolving it inline; returns whether the caller must flush now
+    /// (batch cap reached). Only called when sharding is active on the
+    /// incremental path.
+    fn defer_beacon_txend(&mut self, tx: &Transmission) -> bool {
+        let sd = self.shard.as_mut().expect("sharding checked by caller");
+        sd.pending.push(*tx);
+        sd.pending.len() >= SHARD_BATCH_CAP
+    }
+
+    /// Resolves every queued beacon query shard-parallel and merges the
+    /// outcomes in original event order — bit-identically to dispatching
+    /// each TxEnd sequentially. The correctness argument:
+    ///
+    /// * **Ownership**: each query is owned by the stripe of its sender's
+    ///   cell column ([`CellGeometry::stripe_of`]) — a pure function of
+    ///   frozen state, so the assignment is deterministic. Workers scan
+    ///   the batch in order, so each worker resolves its owned queries in
+    ///   ascending event order against its private [`QueryScratch`].
+    /// * **Frozen inputs**: grid, snapshot and mobility only mutate on
+    ///   events that force a flush before dispatching, so every worker
+    ///   reads exactly the state the sequential path would have seen. The
+    ///   one event processed *inside* a batch is a beacon **start**; the
+    ///   frame it inserts begins at (or after) every queued query's end,
+    ///   so the interference loop's overlap test skips it — and the
+    ///   `max_gate_r` it may grow only widens the frame gather to a
+    ///   superset whose extra frames are skipped the same way.
+    /// * **Pruning**: the sequential path prunes the windows at *every*
+    ///   query's start as queries are processed in end-time order, and
+    ///   that progressive prune is semantics-bearing: a long data frame's
+    ///   start reaches back before previously-processed beacon queries'
+    ///   starts, so frames overlapping its early portion may already have
+    ///   been dropped by those queries' prunes (the naive path shares the
+    ///   artifact bit-for-bit — `compute_deliveries` prunes before mode
+    ///   dispatch). The flush reproduces the cumulative effect exactly:
+    ///   prune to the *earliest* queued start before resolving (in-batch
+    ///   queries then see a superset whose expired extras their overlap
+    ///   test drops — batch starts are monotone, so nothing a sequential
+    ///   prune would have hidden from them survives it), and prune to the
+    ///   *latest* queued start after the merge, which is the running
+    ///   maximum threshold the sequential path would have left for
+    ///   whatever query comes next.
+    /// * **Half-duplex reach**: the gather disc includes `hd_reach`, which
+    ///   bounds how far a receiver's own overlapping frame can sit from
+    ///   its current position — so the set of own-frames a query can see
+    ///   is identical at any gather radius at or beyond it.
+    /// * **Merge**: deliveries are applied (neighbour-table observes,
+    ///   counters) by replaying the batch in event order, each query
+    ///   stamped with its own `tx.end` — exactly the clock the sequential
+    ///   dispatch would have observed. Loss tallies are u64 sums, so
+    ///   per-worker accumulation cannot reorder anything observable.
+    ///
+    /// Queries never touch the RNG, and shadowing draws are pure hashes,
+    /// so no stochastic state is involved at all.
+    fn flush_sharded(&mut self) {
+        let Some(sd) = &self.shard else { return };
+        let Some(first) = sd.pending.first() else {
+            return;
+        };
+        // Prune both views of the active set to the earliest queued
+        // query's start (see the doc comment above).
+        let t0 = first.start;
+        self.active.prune(t0);
+        self.frames.prune(t0);
+        let mut sd = self.shard.take().expect("checked above");
+        let shards = sd.shards;
+        let geom = self.grid.geometry();
+        {
+            let ctx = QueryCtx {
+                grid: &self.grid,
+                snapshot: &self.snapshot,
+                frames: &self.frames,
+                radio: &self.spec.radio,
+                seed: self.spec.seed,
+                capture_ratio_mw: self.capture_ratio_mw,
+                extra_reach: self.max_gate_r.max(self.hd_reach),
+            };
+            let profile_on = self.profile_on;
+            for w in &mut sd.workers {
+                w.results.clear();
+                w.deliveries.clear();
+            }
+            let pending = &sd.pending[..];
+            let workers = WorkerPtr(sd.workers.as_mut_ptr());
+            sd.pool.run(|k| {
+                // SAFETY: each worker index runs on exactly one thread of
+                // this dispatch, so the slot is exclusively borrowed.
+                let w = unsafe { &mut *workers.slot(k) };
+                for (qi, tx) in pending.iter().enumerate() {
+                    if geom.stripe_of(tx.pos, shards) != k {
+                        continue;
+                    }
+                    let t_start = profile_on.then(Instant::now);
+                    let start = w.deliveries.len() as u32;
+                    let (hd, col) =
+                        resolve_query(&ctx, &mut w.scratch, tx, t_start, &mut w.deliveries);
+                    w.half_duplex_losses += hd;
+                    w.collision_losses += col;
+                    let len = w.deliveries.len() as u32 - start;
+                    w.results.push((qi as u32, start, len));
+                }
+            });
+        }
+        // Merge: replay the batch in event order, advancing one cursor
+        // per worker (each worker's results are already in that order).
+        sd.cursors.clear();
+        sd.cursors.resize(shards, 0);
+        for (qi, tx) in sd.pending.iter().enumerate() {
+            let k = geom.stripe_of(tx.pos, shards);
+            let cursor = sd.cursors[k];
+            sd.cursors[k] += 1;
+            let (rqi, start, len) = sd.workers[k].results[cursor];
+            debug_assert_eq!(rqi as usize, qi, "owner replays queries in order");
+            // Beacon effects, stamped with the query's own end time — the
+            // clock the sequential dispatch observes at this TxEnd.
+            self.counters.beacons_received += len as u64;
+            for &(r, rx_dbm) in &sd.workers[k].deliveries[start as usize..(start + len) as usize] {
+                self.tables[r].observe(tx.sender, rx_dbm, tx.tx_dbm, tx.end);
+            }
+        }
+        for w in &mut sd.workers {
+            self.counters.half_duplex_losses += w.half_duplex_losses;
+            self.counters.collision_losses += w.collision_losses;
+            w.half_duplex_losses = 0;
+            w.collision_losses = 0;
+        }
+        // Re-apply the cumulative prune the sequential per-query prunes
+        // would have left behind (see the doc comment): the latest queued
+        // start is the running-maximum threshold for whatever follows.
+        let t_last = sd.pending.iter().fold(t0, |m, tx| m.max(tx.start));
+        self.active.prune(t_last);
+        self.frames.prune(t_last);
+        sd.pending.clear();
+        self.shard = Some(sd);
     }
 }
 
@@ -1092,6 +1306,183 @@ impl World {
 /// on `exp_scale`, 2 is the knee: 3 shaves little more off the filter but
 /// grows the cell walk and the refresh stream.
 const GRID_CELL_DIVISOR: f64 = 2.0;
+
+/// The snapshot delivery pipeline for one transmission — the single
+/// kernel behind **both** the sequential incremental path
+/// ([`World::compute_deliveries_snapshot`]) and every sharded worker
+/// ([`World::flush_sharded`]), so the two cannot drift: filter (batched
+/// sweep over the SoA lanes) → log-free decode → interference/capture per
+/// decodable receiver, exactly as documented on
+/// [`World::compute_deliveries_snapshot`].
+///
+/// Reads only the frozen [`QueryCtx`], mutates only the caller's
+/// [`QueryScratch`], and appends successful deliveries to `out` in
+/// ascending node order. Loss outcomes are returned as `(half_duplex,
+/// collided)` counts instead of being recorded — order-free u64 tallies
+/// the caller folds into the world counters
+/// ([`World::apply_losses`]).
+fn resolve_query(
+    ctx: &QueryCtx<'_>,
+    s: &mut QueryScratch,
+    tx: &Transmission,
+    t_start: Option<Instant>,
+    out: &mut Vec<(NodeId, f64)>,
+) -> (u64, u64) {
+    let profile_on = t_start.is_some();
+    let mut filtered = std::mem::take(&mut s.filtered);
+    filtered.clear();
+    // Buckets are exact up to the refresh slack; stored positions may
+    // be older than the bucket, so walk whole cells (inflated by the
+    // slack) and filter on *current* exact positions from the lanes —
+    // batched into fixed-width chunk kernels by the sweep, which also
+    // skips cells its event-horizon cache proves out of decode reach
+    // (see `crate::sweep` for the bit-exactness argument).
+    let r = s.decode_radius(ctx.radio, tx);
+    let t = tx.end;
+    s.sweep.filter_into(
+        ctx.grid,
+        ctx.snapshot,
+        tx.pos,
+        t,
+        r,
+        GRID_BUCKET_SLACK_M,
+        &mut filtered,
+    );
+    // Ascending node order: delivery order feeds protocol callbacks
+    // (and their RNG draws), so every mode must match the naive scan.
+    // The sweep evaluates its gathered ids in sorted order, so the
+    // survivors arrive exactly as the historical post-filter sort
+    // left them.
+    debug_assert!(filtered.windows(2).all(|w| w[0].0 < w[1].0));
+    let t_mid = profile_on.then(Instant::now);
+
+    // Frames that can matter to *any* candidate of this query, in
+    // global insertion order (sequence numbers are shared with the
+    // flat window, so sorting by them replays its exact iteration
+    // order).
+    let mut frames = std::mem::take(&mut s.frames);
+    frames.clear();
+    ctx.frames
+        .gather_into(tx.pos, r + ctx.extra_reach, &mut frames);
+    frames.sort_unstable_by_key(|&(seq, _)| seq);
+
+    let pl = ctx.radio.path_loss;
+    let sens = ctx.radio.rx_sensitivity_dbm;
+    let sigma = ctx.radio.shadowing_sigma_db;
+    let seed = ctx.seed;
+
+    // Pass 1 — decode. `rx = NaN` marks a deferred received power (the
+    // certain-decode fast path never evaluated the `log10`).
+    let mut decodable = std::mem::take(&mut s.decodable);
+    decodable.clear();
+    if sigma <= 0.0 {
+        for &(i, p, d2) in &filtered {
+            if i == tx.sender {
+                continue;
+            }
+            if d2 <= tx.decode_lo_r2 {
+                decodable.push((i, p, d2, f64::NAN));
+            } else if d2 > tx.decode_hi_r2 {
+                // provably below sensitivity: the historical
+                // OutOfRange branch, which records nothing
+            } else {
+                // in the hair-thin threshold band: exact dB test
+                let rx = pl.rx_dbm(tx.tx_dbm, d2.sqrt());
+                if rx >= sens {
+                    decodable.push((i, p, d2, rx));
+                }
+            }
+        }
+    } else {
+        for &(i, p, d2) in &filtered {
+            if i == tx.sender {
+                continue;
+            }
+            let rx = pl.rx_dbm(tx.tx_dbm, d2.sqrt())
+                + crate::radio::link_shadowing_db(sigma, seed, tx.sender, i);
+            if rx >= sens {
+                decodable.push((i, p, d2, rx));
+            }
+        }
+    }
+
+    // Pass 2 — interference + capture per decodable receiver.
+    let t_int = profile_on.then(Instant::now);
+    let floor = sens - INTERFERENCE_FLOOR_DB;
+    let capture_ratio = ctx.capture_ratio_mw;
+    let mut half_duplex = 0u64;
+    let mut collided = 0u64;
+    for &(rid, rpos, d2, rx0) in &decodable {
+        let interference = if sigma <= 0.0 {
+            // Unshadowed: skip by the exact floor threshold, add no
+            // shadow term (link_shadowing_db is identically 0 here,
+            // so the accumulated terms match the historical loop
+            // bit-for-bit).
+            interference_sum(
+                tx,
+                rid,
+                rpos,
+                &frames,
+                pl,
+                floor,
+                |o| o.floor_hi_r2,
+                |_| 0.0,
+            )
+        } else {
+            // One shadowing draw per (transmitter, receiver) pair,
+            // shared across all of that transmitter's overlapping
+            // frames in this query.
+            s.shadow_epoch += 1;
+            let epoch = s.shadow_epoch;
+            let stamps = &mut s.shadow_stamp;
+            let vals = &mut s.shadow_val;
+            interference_sum(
+                tx,
+                rid,
+                rpos,
+                &frames,
+                pl,
+                floor,
+                |o| o.gate_r2,
+                |sender| {
+                    if stamps[sender] == epoch {
+                        vals[sender]
+                    } else {
+                        let v = crate::radio::link_shadowing_db(sigma, seed, sender, rid);
+                        stamps[sender] = epoch;
+                        vals[sender] = v;
+                        v
+                    }
+                },
+            )
+        };
+        if let Some(interference_mw) = interference {
+            let rx = if rx0.is_nan() {
+                pl.rx_dbm(tx.tx_dbm, d2.sqrt())
+            } else {
+                rx0
+            };
+            if interference_mw > 0.0 && dbm_to_mw(rx) < capture_ratio * interference_mw {
+                collided += 1;
+            } else {
+                out.push((rid, rx));
+            }
+        } else {
+            half_duplex += 1;
+        }
+    }
+
+    s.filtered = filtered;
+    s.frames = frames;
+    s.decodable = decodable;
+    if let (Some(start), Some(mid), Some(intf)) = (t_start, t_mid, t_int) {
+        let done = Instant::now();
+        s.profile.filter_s += (mid - start).as_secs_f64();
+        s.profile.outcome_s += (done - mid).as_secs_f64();
+        s.profile.interference_s += (done - intf).as_secs_f64();
+    }
+    (half_duplex, collided)
+}
 
 /// The shared interference/half-duplex frame loop of the fused delivery
 /// query: replays the gathered `frames` (already sorted into global
@@ -1301,12 +1692,40 @@ impl<P: Protocol> Simulator<P> {
     /// exist for parity checks and as benchmark baselines.
     pub fn set_delivery_mode(&mut self, mode: DeliveryMode) {
         if self.world.mode != mode {
-            // Another discipline may re-bucket nodes without per-cell
-            // notifications (horizon rebuilds), so no cached event
-            // horizon survives a mode switch.
-            self.world.sweep.invalidate_all();
+            // Resolve any queued sharded batch under the mode its queries
+            // were deferred in, then drop the cached event horizons:
+            // another discipline may re-bucket nodes without per-cell
+            // notifications (horizon rebuilds), so no cached bound
+            // survives a mode switch.
+            self.world.flush_sharded();
+            self.world.invalidate_sweep_all();
         }
         self.world.mode = mode;
+    }
+
+    /// Splits delivery resolution of the incremental path across
+    /// `shards` space-sharded workers (`≤ 1` — the default — keeps the
+    /// strictly sequential path). Results are **bit-identical at every
+    /// shard count**: beacon deliveries are queued per event, resolved by
+    /// stripe-owning workers running the exact sequential kernel against
+    /// frozen state, and merged back in event order (see
+    /// `World::flush_sharded` for the argument; asserted by the
+    /// shard-count property suite).
+    ///
+    /// The pool persists across [`reset`](Self::reset) like the delivery
+    /// mode does. Sharding only engages in [`DeliveryMode::Incremental`];
+    /// the historical baselines stay sequential so their measured costs
+    /// remain comparable across PRs. Useful shard counts are small (≈ the
+    /// physical core count): each worker owns a contiguous stripe of grid
+    /// columns, so at high counts stripes thin out and the per-flush
+    /// dispatch overhead dominates.
+    pub fn set_delivery_shards(&mut self, shards: usize) {
+        self.world.set_delivery_shards(shards);
+    }
+
+    /// The configured delivery shard count (1 = sequential).
+    pub fn delivery_shards(&self) -> usize {
+        self.world.shard.as_ref().map_or(1, |sd| sd.shards)
     }
 
     /// The currently selected delivery-resolution path.
@@ -1345,8 +1764,24 @@ impl<P: Protocol> Simulator<P> {
     /// the scalar fallback (all zero outside
     /// [`DeliveryMode::Incremental`], which is the only path that
     /// sweeps). Exported per row of the scale artifact.
+    ///
+    /// **Aggregation under sharding**: each shard worker sweeps with its
+    /// own private counters; this returns the component-wise sum of the
+    /// sequential sweep's counters plus every worker's, folded in
+    /// worker-index order. Because query ownership is deterministic and
+    /// u64 addition is associative and commutative, the total is
+    /// independent of thread interleaving — the same well-defined number
+    /// at any shard count (though *not* necessarily equal across shard
+    /// counts: each worker's event-horizon cache warms independently, so
+    /// culling opportunities differ).
     pub fn sweep_stats(&self) -> SweepStats {
-        self.world.sweep.stats()
+        let mut stats = self.world.scratch.sweep.stats();
+        if let Some(sd) = &self.world.shard {
+            for w in &sd.workers {
+                stats += w.scratch.sweep.stats();
+            }
+        }
+        stats
     }
 
     /// Cell edge (m) of the spatial delivery grid — exposed so tests can
@@ -1366,8 +1801,22 @@ impl<P: Protocol> Simulator<P> {
     /// The accumulated candidate-filter / receive-outcome wall-time split
     /// since the last reset (all zeros unless
     /// [`set_query_profiling`](Self::set_query_profiling) is on).
+    ///
+    /// **Aggregation under sharding**: returns the component-wise sum of
+    /// the sequential profile plus every shard worker's, folded in
+    /// worker-index order — i.e. aggregate *shard-seconds* of query work,
+    /// not wall time. With `n` shards busy the sum can exceed elapsed
+    /// wall time by up to a factor of `n`; it remains the right
+    /// denominator for per-query cost comparisons because the amount of
+    /// work per query is shard-count-independent.
     pub fn query_profile(&self) -> QueryProfile {
-        self.world.profile
+        let mut profile = self.world.scratch.profile;
+        if let Some(sd) = &self.world.shard {
+            for w in &sd.workers {
+                profile += w.scratch.profile;
+            }
+        }
+        profile
     }
 
     /// Runs the simulation to `end_time` and returns the report.
@@ -1388,14 +1837,44 @@ impl<P: Protocol> Simulator<P> {
 
     /// Processes events up to (and including) time `t`, leaving the
     /// simulator inspectable — used for topology snapshots and debugging.
+    ///
+    /// With delivery sharding enabled
+    /// ([`set_delivery_shards`](Self::set_delivery_shards)), beacon
+    /// delivery queries are queued here and resolved in batches: any
+    /// event that could change delivery inputs or observe delivery
+    /// outputs (mobility, grid maintenance, data traffic, protocol
+    /// timers) flushes the pending batch first, so every query still sees
+    /// exactly the state the sequential path would have. The final flush
+    /// below guarantees no query is left pending when the call returns.
     pub fn run_until(&mut self, t: f64) {
         while let Some(next) = self.world.queue.peek_time() {
             if next > t {
                 break;
             }
             let (_, ev) = self.world.queue.pop().expect("peeked event vanished");
+            if self.world.shard.is_some() && self.world.mode == DeliveryMode::Incremental {
+                match &ev {
+                    Event::TxEnd(tx) if tx.kind == FrameKind::Beacon => {
+                        // Beacon deliveries have no same-event side
+                        // effects beyond the neighbour-table observes and
+                        // loss counters the flush replays in order, so
+                        // they can be deferred into the shard batch.
+                        if self.world.defer_beacon_txend(tx) {
+                            self.world.flush_sharded();
+                        }
+                        continue;
+                    }
+                    // A beacon *start* only inserts a frame into the
+                    // active window; every deferred query's own end time
+                    // precedes this event's time, so the new frame cannot
+                    // overlap any pending query and need not flush.
+                    Event::Beacon(_) => {}
+                    _ => self.world.flush_sharded(),
+                }
+            }
             self.dispatch(ev);
         }
+        self.world.flush_sharded();
     }
 
     /// Node positions at time `t` (must be ≥ the last processed event).
@@ -1904,6 +2383,37 @@ mod tests {
         // continuing to the end still works
         sim.run_until(40.0);
         assert!(sim.now() > 30.0);
+    }
+
+    #[test]
+    fn shard_count_can_change_mid_run_and_survives_reset() {
+        // Re-sharding between run_until segments must not perturb the
+        // trajectory: every transition flushes the pending batch under
+        // the old configuration, so the event stream is identical to the
+        // sequential run. The same simulator is then reset and re-run to
+        // check the persistent worker pool starts each run clean.
+        let mut c = SimConfig::paper(80, 9);
+        c.field = Field::new(500.0, 500.0);
+        let n = c.n_nodes;
+        let baseline = Simulator::new(c.clone(), Flooding::new(n, (0.0, 0.1))).run();
+        let mut sim = Simulator::new(c.clone(), Flooding::new(n, (0.0, 0.1)));
+        sim.run_until(10.0);
+        sim.set_delivery_shards(3);
+        assert_eq!(sim.delivery_shards(), 3);
+        sim.run_until(25.0);
+        sim.set_delivery_shards(2);
+        sim.run_until(33.0);
+        sim.set_delivery_shards(1);
+        assert_eq!(sim.delivery_shards(), 1);
+        let toggled = sim.run_to_end();
+        assert_eq!(baseline.broadcast, toggled.broadcast);
+        assert_eq!(baseline.counters, toggled.counters);
+        sim.set_delivery_shards(4);
+        sim.reset(c, Flooding::new(n, (0.0, 0.1)));
+        assert_eq!(sim.delivery_shards(), 4, "sharding survives reset");
+        let again = sim.run_to_end();
+        assert_eq!(baseline.broadcast, again.broadcast);
+        assert_eq!(baseline.counters, again.counters);
     }
 
     #[test]

@@ -34,6 +34,13 @@
 //! path produce the same results as the historical ones down to the last
 //! bit.
 //!
+//! The query side of the snapshot (`position`, the lane accessors the
+//! sweep kernels read) is `&self` with no interior mutability, so the
+//! space-sharded delivery path shares one snapshot read-only across all
+//! stripe workers while a batch resolves; mutation (`set`, `rebuild`)
+//! happens only between batches, on the event thread, after the workers
+//! have joined.
+//!
 //! [`Mobility::position`]: crate::mobility::Mobility::position
 //! [`PathLoss::threshold_band_sq`]: crate::radio::PathLoss::threshold_band_sq
 

@@ -147,6 +147,21 @@ pub struct SweepStats {
     pub scalar_candidates: u64,
 }
 
+/// Component-wise sum — the deterministic reduction
+/// [`Simulator::sweep_stats`](crate::sim::Simulator::sweep_stats) applies
+/// over per-shard-worker sweeps. Each worker counts only the queries it
+/// owns and ownership is a pure function of sender position, so summing
+/// in worker-index order yields the same totals regardless of how the
+/// threads actually interleaved.
+impl std::ops::AddAssign for SweepStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.cells_visited += rhs.cells_visited;
+        self.cells_culled += rhs.cells_culled;
+        self.batched_candidates += rhs.batched_candidates;
+        self.scalar_candidates += rhs.scalar_candidates;
+    }
+}
+
 /// A cached per-cell event horizon: every member's exact position at time
 /// `t` lies within `radius` of `center`, and no member moves faster than
 /// `vmax` until the cell is invalidated. Valid only while `stamp` is

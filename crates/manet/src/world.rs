@@ -596,6 +596,17 @@ impl DenseScenario {
         },
     ];
 
+    /// The heterogeneous preset of the scale experiments: 1000 paper-default
+    /// walkers plus a 500-node stationary mesh at 20 dBm, at the paper's
+    /// middle density (`1000@200+500:still:20dbm` in the shared grammar).
+    /// Mixed mobility and mixed power exercise the per-group code paths —
+    /// max-gate-radius growth, stationary re-anchor elision — that the
+    /// homogeneous presets cannot. A fn rather than a const because
+    /// non-empty group vectors are not const-constructible.
+    pub fn hetero_preset() -> Self {
+        Self::parse_spec("1000@200+500:still:20dbm").expect("preset spec is valid")
+    }
+
     /// A scenario with the given density and node count (no shadowing,
     /// homogeneous).
     pub fn new(per_km2: u32, n_nodes: usize) -> Self {

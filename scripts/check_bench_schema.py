@@ -1,22 +1,25 @@
 #!/usr/bin/env python3
-"""Validate a BENCH_scale.json artifact against the bench-scale-v5 schema.
+"""Validate a BENCH_scale.json artifact against the bench-scale-v6 schema.
 
 Usage: check_bench_schema.py [PATH] [--rows N]
 
 PATH defaults to BENCH_scale.json in the current directory. --rows asserts
 the exact scenario-row count (CI passes the count its smoke run produces).
 
-The v5 schema is documented (and emitted) in crates/bench/src/scale.rs.
+The v6 schema is documented (and emitted) in crates/bench/src/scale.rs.
 Beyond key presence, the structural invariants checked here are the ones a
 broken profiler or a half-written emitter would violate:
 
-  * the calibration workload has a positive wall time;
+  * the calibration workload has a positive wall time and the artifact
+    records a positive host parallelism;
   * every row's `spec` is a non-empty scenario-grammar string whose head
     matches the row's nodes/density columns for homogeneous rows;
   * filter + outcome query time cannot exceed the mode's end-to-end time;
   * the interference phase is a sub-interval of the outcome phase;
   * the event horizon cannot cull more cells than the sweep visited, and
     an incremental run that delivered anything must have swept candidates;
+  * `shards` and `sharded_s` are null together or present together, with
+    `shards` >= 2 when present (a 1-shard run is just the sequential path);
   * the recorded speedup columns must equal the wall-time ratios they
     summarise.
 """
@@ -34,6 +37,8 @@ REQUIRED = [
     "incremental_s",
     "rebuild_s",
     "naive_s",
+    "shards",
+    "sharded_s",
     "incremental_filter_s",
     "incremental_outcome_s",
     "incremental_interference_s",
@@ -48,6 +53,7 @@ REQUIRED = [
     "peak_rss_bytes",
     "speedup_rebuild_over_incremental",
     "speedup_naive_over_incremental",
+    "speedup_sharded_over_incremental",
 ]
 
 
@@ -71,13 +77,16 @@ def main(argv):
     except (OSError, ValueError) as e:
         fail(f"cannot read {path}: {e}")
 
-    if d.get("schema") != "bench-scale-v5":
-        fail(f"schema is {d.get('schema')!r}, want 'bench-scale-v5'")
+    if d.get("schema") != "bench-scale-v6":
+        fail(f"schema is {d.get('schema')!r}, want 'bench-scale-v6'")
     cal = d.get("calibration")
     if not isinstance(cal, dict) or not isinstance(cal.get("seconds"), (int, float)):
         fail("missing calibration object with numeric 'seconds'")
     if cal["seconds"] <= 0:
         fail(f"calibration seconds must be positive, got {cal['seconds']}")
+    host = d.get("host_parallelism")
+    if not isinstance(host, int) or host < 1:
+        fail(f"host_parallelism must be a positive integer, got {host!r}")
     scenarios = d.get("scenarios")
     if not isinstance(scenarios, list) or not scenarios:
         fail("scenarios must be a non-empty list")
@@ -123,10 +132,23 @@ def main(argv):
             got = row["speedup_naive_over_incremental"]
             if got is None or abs(got - want) > 1e-4 * max(1.0, want):
                 fail(f"row {name}: naive speedup column {got} != {want}")
+        if (row["shards"] is None) != (row["sharded_s"] is None):
+            fail(f"row {name}: shards and sharded_s must be null together")
+        if row["shards"] is not None:
+            if not isinstance(row["shards"], int) or row["shards"] < 2:
+                fail(f"row {name}: shards must be an integer >= 2, got {row['shards']!r}")
+            if row["sharded_s"] <= 0:
+                fail(f"row {name}: sharded_s must be positive, got {row['sharded_s']}")
+            want = row["incremental_s"] / row["sharded_s"]
+            got = row["speedup_sharded_over_incremental"]
+            if got is None or abs(got - want) > 1e-4 * max(1.0, want):
+                fail(f"row {name}: sharded speedup column {got} != {want}")
+        elif row["speedup_sharded_over_incremental"] is not None:
+            fail(f"row {name}: sharded speedup must be null when unsharded")
 
     if "batched_eval" not in d:
         fail("missing batched_eval object")
-    print(f"check_bench_schema: OK ({len(scenarios)} rows, schema bench-scale-v5)")
+    print(f"check_bench_schema: OK ({len(scenarios)} rows, schema bench-scale-v6)")
 
 
 if __name__ == "__main__":

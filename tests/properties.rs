@@ -561,6 +561,82 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn sharded_delivery_bit_identical_across_shard_counts(
+        seed in 0u64..10_000,
+        n_band in 24usize..60,
+        n_walk in 6usize..16,
+        power_idx in 0usize..3,
+        shadowed_i in 0usize..2,
+        width in 600.0f64..1400.0,
+    ) {
+        // The space-sharding guarantee: any shard count reproduces the
+        // sequential incremental run bit-for-bit — same metrics, same
+        // counters — with the naive full scan as an independent oracle.
+        // The generated worlds are adversarial for the halo/merge logic:
+        // a stationary band spanning every grid column (so each stripe
+        // boundary is straddled by decode and interference reach, and no
+        // mobility event ever forces a flush — the batch-cap path runs),
+        // a mobile population whose mid-run re-anchors and grid refreshes
+        // land between batches, a second transmit-power class, and
+        // optionally shadowed links.
+        use manet::geometry::Vec2;
+        use manet::mobility::MobilityModel;
+        use manet::world::{NodeGroup, WorldSpec};
+        let shadowed = shadowed_i == 1;
+        let other_power = [10.0, 5.0, 16.02][power_idx];
+        let build = || {
+            let mut radio = manet::RadioConfig::paper();
+            if !shadowed {
+                radio.shadowing_sigma_db = 0.0;
+            }
+            WorldSpec::builder()
+                .area(width, 300.0)
+                .radio(radio)
+                .seed(seed)
+                .group(
+                    NodeGroup::new(n_band)
+                        .mobility(MobilityModel::Stationary)
+                        .placement(GroupPlacement::Rect {
+                            min: Vec2::new(0.0, 120.0),
+                            max: Vec2::new(width, 180.0),
+                        }),
+                )
+                .group(
+                    NodeGroup::new(n_walk)
+                        .mobility(MobilityModel::RandomWalk { change_interval: 5.0 })
+                        .tx_power_dbm(other_power),
+                )
+                .broadcast_window(3.0, 6.0)
+                .build()
+                .expect("valid spec")
+        };
+        let run = |mode: DeliveryMode, shards: usize| {
+            let spec = build();
+            let n = spec.n_nodes();
+            let mut sim = Simulator::from_world(&spec, Flooding::new(n, (0.0, 0.1)));
+            sim.set_delivery_mode(mode);
+            sim.set_delivery_shards(shards);
+            sim.run_to_end()
+        };
+        let sequential = run(DeliveryMode::Incremental, 1);
+        let naive = run(DeliveryMode::Naive, 1);
+        prop_assert_eq!(&sequential.broadcast, &naive.broadcast);
+        prop_assert_eq!(&sequential.counters, &naive.counters);
+        for shards in [2usize, 3, 7] {
+            let sharded = run(DeliveryMode::Incremental, shards);
+            prop_assert!(
+                sequential.broadcast == sharded.broadcast
+                    && sequential.counters == sharded.counters,
+                "diverged at {} shards", shards
+            );
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]

@@ -19,9 +19,10 @@ use mopt::solution::Bounds;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use std::io::{BufRead, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use store::{DiskStorage, Storage};
 
 /// Broadcast-time constraint limit (s): "any solution that takes longer
 /// than 2 seconds is no longer valid".
@@ -81,9 +82,22 @@ pub struct AedbProblem {
     cache: Option<Mutex<HashMap<CacheKey, Evaluation>>>,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
-    /// When set, the cache is loaded from this file on construction and
-    /// flushed back on drop — repeated experiments start warm.
-    cache_path: Option<PathBuf>,
+    /// When set, the cache is loaded from this storage slot on
+    /// construction and flushed back on drop — repeated experiments start
+    /// warm. The slot is any [`Storage`] backend plus the `(namespace,
+    /// key)` the serialized cache lives under; the historical
+    /// [`with_eval_cache_path`](Self::with_eval_cache_path) binds a
+    /// [`DiskStorage`] slot that maps to exactly the given file.
+    cache_store: Option<CacheSlot>,
+}
+
+/// Where a persisted evaluation cache lives: a storage backend plus the
+/// namespaced key of the serialized cache document.
+#[derive(Clone)]
+struct CacheSlot {
+    storage: Arc<dyn Storage>,
+    namespace: String,
+    key: String,
 }
 
 impl AedbProblem {
@@ -112,7 +126,7 @@ impl AedbProblem {
             cache: Some(Mutex::new(HashMap::new())),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
-            cache_path: None,
+            cache_store: None,
         }
     }
 
@@ -152,16 +166,61 @@ impl AedbProblem {
     /// cache is always correct); call
     /// [`flush_eval_cache`](Self::flush_eval_cache) for an explicit,
     /// error-reporting flush.
+    ///
+    /// This is the historical single-file entry point, now a thin binding
+    /// of [`with_eval_cache_storage`](Self::with_eval_cache_storage) to a
+    /// [`DiskStorage`] slot that maps to exactly `path` — the on-disk
+    /// location and format are unchanged. Paths whose file name is not a
+    /// storage-safe token (see [`store::validate_component`]) fall back to
+    /// an unpersisted in-memory cache.
     pub fn with_eval_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
         let path = path.into();
+        let root = path
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or(Path::new("."));
+        let Some(key) = path.file_name().and_then(|n| n.to_str()) else {
+            // No usable file name: keep the cache, skip persistence.
+            if self.cache.is_none() {
+                self.cache = Some(Mutex::new(HashMap::new()));
+            }
+            return self;
+        };
+        // Empty namespace = the root directory itself, so the cache file
+        // lands at `path` verbatim.
+        self.with_eval_cache_storage(Arc::new(DiskStorage::new(root)), "", key)
+    }
+
+    /// Backs the quantized evaluation cache with an arbitrary [`Storage`]
+    /// slot: the serialized cache document lives under
+    /// `(namespace, key)` on `storage`. Entries matching this problem's
+    /// [fingerprint](Self::cache_fingerprint) are loaded now and the full
+    /// cache is flushed back on drop, exactly like
+    /// [`with_eval_cache_path`](Self::with_eval_cache_path) — that method
+    /// *is* this one specialised to a single-file disk slot. The resident
+    /// simulation service uses this to pool eval caches from every
+    /// campaign in one backend (disk, memory, or whatever else implements
+    /// the trait), so they outlive any one process.
+    pub fn with_eval_cache_storage(
+        mut self,
+        storage: Arc<dyn Storage>,
+        namespace: impl Into<String>,
+        key: impl Into<String>,
+    ) -> Self {
         if self.cache.is_none() {
             self.cache = Some(Mutex::new(HashMap::new()));
         }
-        if let Ok(loaded) = Self::load_cache_file(&path, self.cache_fingerprint()) {
+        let slot = CacheSlot {
+            storage,
+            namespace: namespace.into(),
+            key: key.into(),
+        };
+        if let Ok(Some(bytes)) = slot.storage.get(&slot.namespace, &slot.key) {
+            let loaded = Self::parse_cache(&bytes, self.cache_fingerprint());
             let cache = self.cache.as_ref().expect("cache enabled above");
             cache.lock().extend(loaded);
         }
-        self.cache_path = Some(path);
+        self.cache_store = Some(slot);
         self
     }
 
@@ -186,14 +245,17 @@ impl AedbProblem {
         h
     }
 
-    /// Writes the current cache contents to the configured path (no-op
-    /// without [`with_eval_cache_path`](Self::with_eval_cache_path)).
+    /// Writes the current cache contents to the configured storage slot
+    /// (no-op without [`with_eval_cache_path`](Self::with_eval_cache_path)
+    /// / [`with_eval_cache_storage`](Self::with_eval_cache_storage)).
     /// Format: a header line `aedb-eval-cache v1 <fingerprint>` followed
     /// by one entry per line — the quantized key and the f64 bit patterns
     /// of the objectives and violation in hex, so persisted evaluations
-    /// round-trip bit-exactly.
+    /// round-trip bit-exactly. Atomic replacement (a crash mid-write must
+    /// never leave a truncated document behind) is the [`Storage::put`]
+    /// contract, not re-implemented here.
     pub fn flush_eval_cache(&self) -> std::io::Result<()> {
-        let (Some(path), Some(cache)) = (&self.cache_path, &self.cache) else {
+        let (Some(slot), Some(cache)) = (&self.cache_store, &self.cache) else {
             return Ok(());
         };
         let mut out = String::new();
@@ -211,14 +273,7 @@ impl AedbProblem {
             }
             out.push_str(&format!(" {:016x}\n", ev.violation.to_bits()));
         }
-        // Atomic replace: a crash mid-write must never leave a truncated
-        // file behind for the next run to load.
-        let tmp = path.with_extension("tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(out.as_bytes())?;
-        }
-        std::fs::rename(&tmp, path)
+        slot.storage.put(&slot.namespace, &slot.key, out.as_bytes())
     }
 
     /// Parses one whitespace token as the hex bit pattern of an `f64`,
@@ -233,25 +288,26 @@ impl AedbProblem {
         u64::from_str_radix(t, 16).ok().map(f64::from_bits)
     }
 
-    fn load_cache_file(
-        path: &PathBuf,
-        fingerprint: u64,
-    ) -> std::io::Result<Vec<(CacheKey, Evaluation)>> {
-        let f = std::fs::File::open(path)?;
-        let mut lines = std::io::BufReader::new(f).lines();
-        let header = lines.next().transpose()?.unwrap_or_default();
+    /// Parses a serialized cache document (the format
+    /// [`flush_eval_cache`](Self::flush_eval_cache) writes) against the
+    /// expected fingerprint. Any mismatch or malformation degrades to
+    /// fewer entries, never an error — a cold cache is always correct.
+    fn parse_cache(bytes: &[u8], fingerprint: u64) -> Vec<(CacheKey, Evaluation)> {
+        let text = String::from_utf8_lossy(bytes);
+        let mut lines = text.lines();
+        let header = lines.next().unwrap_or_default();
         let mut parts = header.split_whitespace();
         if parts.next() != Some("aedb-eval-cache")
             || parts.next() != Some("v1")
             || parts.next().and_then(|h| u64::from_str_radix(h, 16).ok()) != Some(fingerprint)
         {
-            // Different problem (or a stale/foreign file): a cold start is
-            // the correct behaviour, and the flush on drop will replace it.
-            return Ok(Vec::new());
+            // Different problem (or a stale/foreign document): a cold
+            // start is the correct behaviour, and the flush on drop will
+            // replace it.
+            return Vec::new();
         }
         let mut entries = Vec::new();
         for line in lines {
-            let line = line?;
             let mut tok = line.split_whitespace();
             let mut key = [0u64; N_PARAMS];
             let mut ok = true;
@@ -282,24 +338,25 @@ impl AedbProblem {
                 },
             ));
         }
-        Ok(entries)
+        entries
     }
 
     /// Replaces the search-space bounds (the sensitivity analysis uses the
     /// wider §III-B domains). The quantization lattice is anchored to the
     /// bounds, so any cached evaluations keyed on the old lattice —
     /// including entries loaded from a
-    /// [`with_eval_cache_path`](Self::with_eval_cache_path) file before
-    /// this call — are dropped and the file (whose fingerprint covers the
-    /// bounds) is re-read under the new fingerprint.
+    /// [`with_eval_cache_path`](Self::with_eval_cache_path) /
+    /// [`with_eval_cache_storage`](Self::with_eval_cache_storage) slot
+    /// before this call — are dropped and the slot (whose fingerprint
+    /// covers the bounds) is re-read under the new fingerprint.
     pub fn with_bounds(mut self, bounds: Bounds) -> Self {
         assert_eq!(bounds.len(), N_PARAMS);
         self.bounds = bounds;
         if let Some(cache) = &self.cache {
             cache.lock().clear();
         }
-        if let Some(path) = self.cache_path.take() {
-            self = self.with_eval_cache_path(path);
+        if let Some(slot) = self.cache_store.take() {
+            self = self.with_eval_cache_storage(slot.storage, slot.namespace, slot.key);
         }
         self
     }
@@ -808,6 +865,34 @@ mod tests {
             "entries keyed on the old lattice must not survive with_bounds"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn storage_backed_cache_round_trips_on_memory_backend() {
+        // The generalised slot: same warm-start semantics as the disk
+        // file, on a backend that never touches the filesystem.
+        use store::MemoryStorage;
+        let storage: Arc<dyn store::Storage> = Arc::new(MemoryStorage::new());
+        let x = AedbParams::default_config().to_vec();
+        let first =
+            {
+                let p = AedbProblem::paper(Scenario::quick(Density::D100, 2))
+                    .with_eval_cache_storage(storage.clone(), "eval-cache", "test-slot");
+                let ev = p.evaluate(&x);
+                p.flush_eval_cache().unwrap();
+                ev
+            };
+        assert!(
+            storage.get("eval-cache", "test-slot").unwrap().is_some(),
+            "flush must write the slot"
+        );
+        let p = AedbProblem::paper(Scenario::quick(Density::D100, 2)).with_eval_cache_storage(
+            storage.clone(),
+            "eval-cache",
+            "test-slot",
+        );
+        assert_eq!(p.evaluate(&x), first, "warm-started eval must be bit-exact");
+        assert_eq!(p.cache_stats(), (1, 0), "served from storage, no sim");
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! The experiment protocol, submitted through the resident service
+//! (`serve::SimService`) instead of the batch runner: one campaign per
+//! (density × algorithm), results archived under `./service-store/` so a
+//! second invocation replays every finished campaign from disk without
+//! re-simulating.
+//!
+//! Accepts the usual scale flags (`--paper`, `--reps`, `--evals`,
+//! `--networks`, `--densities`); see `exp_all --help`.
+
+use bench_harness::scale::ExperimentScale;
+use serve::campaign::{AlgorithmKind, CampaignSpec};
+use serve::{JobEvent, JobSpec, Priority, SimService};
+
+use aedb::scenario::Scenario;
+
+fn main() {
+    let scale = ExperimentScale::from_args();
+    let budget = scale.campaign_budget();
+    let service = SimService::on_disk("service-store");
+    println!(
+        "== resident service: {} campaigns ({} reps × {} evals each), archive at ./service-store ==",
+        scale.densities.len() * AlgorithmKind::ALL.len(),
+        budget.reps,
+        budget.evals,
+    );
+
+    let handles: Vec<_> = scale
+        .densities
+        .iter()
+        .flat_map(|&density| {
+            AlgorithmKind::ALL.map(|algorithm| {
+                let spec = CampaignSpec {
+                    scenario: Scenario::quick(density, scale.networks),
+                    algorithm,
+                    budget,
+                };
+                let handle = service.submit(JobSpec::Campaign(spec), Priority::Normal);
+                (density, algorithm, handle)
+            })
+        })
+        .collect();
+
+    for (density, algorithm, handle) in handles {
+        let mut generations = 0u64;
+        let result = loop {
+            match handle.next_event() {
+                Some(JobEvent::Generation { .. }) => generations += 1,
+                Some(JobEvent::Finished {
+                    replayed, output, ..
+                }) => break Some((replayed, output)),
+                Some(JobEvent::Failed { error, .. }) => {
+                    eprintln!("{density} {}: {error}", algorithm.name());
+                    break None;
+                }
+                Some(_) => {}
+                None => break None,
+            }
+        };
+        if let Some((replayed, output)) = result {
+            let campaign = output.campaign().expect("campaign output");
+            let front_sizes: Vec<usize> = campaign.reps.iter().map(|r| r.front.len()).collect();
+            println!(
+                "{density} {:>8}: {} reps, front sizes {:?}, {} generation events{}",
+                algorithm.name(),
+                campaign.reps.len(),
+                front_sizes,
+                generations,
+                if replayed {
+                    " — REPLAYED from archive"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
+
+    let archived = service
+        .archived_campaigns()
+        .expect("scanning campaign archive");
+    println!("{} campaign(s) in the archive", archived.len());
+    service.drain();
+}

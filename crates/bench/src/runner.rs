@@ -13,43 +13,21 @@
 use crate::scale::ExperimentScale;
 use aedb::problem::AedbProblem;
 use aedb::scenario::{Density, Scenario};
-use aedb_mls::mls::{CriteriaChoice, Mls, MlsConfig};
-use moea::cellde::{CellDe, CellDeConfig};
-use moea::nsga2::{Nsga2, Nsga2Config};
 use mopt::algorithm::{MoAlgorithm, RunResult};
 use mopt::problem::Problem;
 use rayon::prelude::*;
 
-/// The three compared algorithms, in the paper's table order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum AlgorithmKind {
-    /// CellDE (Durillo et al. 2008).
-    CellDe,
-    /// NSGA-II (Deb et al. 2002).
-    Nsga2,
-    /// AEDB-MLS — the paper's contribution.
-    Mls,
-}
-
-impl AlgorithmKind {
-    /// All three, in Table IV's row/column order.
-    pub const ALL: [AlgorithmKind; 3] = [
-        AlgorithmKind::CellDe,
-        AlgorithmKind::Nsga2,
-        AlgorithmKind::Mls,
-    ];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            AlgorithmKind::CellDe => "CellDE",
-            AlgorithmKind::Nsga2 => "NSGAII",
-            AlgorithmKind::Mls => "AEDB-MLS",
-        }
-    }
-}
+// The campaign vocabulary — which algorithm, instantiated how, seeded how
+// — moved to `serve::campaign` so the resident service and this harness
+// share one definition (a campaign submitted through `SimService` is
+// bit-identical to the harness rows by construction). Re-exported here
+// because the experiment binaries historically import it from `runner`.
+pub use serve::campaign::{rep_seed, AlgorithmKind};
 
 /// Instantiates an algorithm scaled to the experiment budget.
+///
+/// Delegates to [`serve::campaign::algorithm_for`] via
+/// [`ExperimentScale::campaign_budget`]:
 ///
 /// * MOEAs receive `scale.evals` evaluations (paper: 10 000),
 /// * AEDB-MLS receives `scale.mls_evals()` = 2.4× that (paper: 24 000,
@@ -57,49 +35,7 @@ impl AlgorithmKind {
 ///   paper's 8 × 12 thread topology at `--paper` scale and a 2 × 2
 ///   topology otherwise.
 pub fn algorithms_for(scale: &ExperimentScale, kind: AlgorithmKind) -> Box<dyn MoAlgorithm> {
-    match kind {
-        AlgorithmKind::Nsga2 => {
-            let population = if scale.paper {
-                100
-            } else {
-                (scale.evals / 10).clamp(8, 40) as usize
-            };
-            Box::new(Nsga2::new(Nsga2Config {
-                population,
-                max_evaluations: scale.evals,
-                ..Nsga2Config::default()
-            }))
-        }
-        AlgorithmKind::CellDe => {
-            let side = if scale.paper { 10 } else { 5 };
-            Box::new(CellDe::new(CellDeConfig {
-                grid_side: side,
-                max_evaluations: scale.evals,
-                ..CellDeConfig::default()
-            }))
-        }
-        AlgorithmKind::Mls => {
-            let cfg = if scale.paper {
-                MlsConfig {
-                    criteria: CriteriaChoice::Aedb,
-                    ..MlsConfig::paper()
-                }
-            } else {
-                let per_thread = (scale.mls_evals() / 4).max(10);
-                MlsConfig {
-                    criteria: CriteriaChoice::Aedb,
-                    ..MlsConfig::quick(2, 2, per_thread)
-                }
-            };
-            Box::new(Mls::new(cfg))
-        }
-    }
-}
-
-/// The seed of repetition `rep` — fixed, so any shard schedule reproduces
-/// the historical sequential runs.
-fn rep_seed(rep: usize) -> u64 {
-    0xBEEF + 97 * rep as u64
+    serve::campaign::algorithm_for(&scale.campaign_budget(), kind)
 }
 
 /// Runs `scale.reps` seeded repetitions of `kind` on `problem`, sharding

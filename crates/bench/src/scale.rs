@@ -8,6 +8,9 @@
 //! `exp_scale` writes `BENCH_scale.json` with `"schema": "bench-scale-v6"`
 //! so the performance trajectory stays machine-readable across PRs (and so
 //! CI can fail on regressions — see `scripts/check_bench_regression.py`).
+//! The prose reference — including how the regression gate consumes the
+//! calibration workload, `host_parallelism` and the RSS/ceiling semantics
+//! — is `docs/BENCH_SCHEMA.md`; the table below is the field list.
 //! The artifact is emitted by [`ScaleArtifact`] in this module — the one
 //! place the field list lives, so the schema checker
 //! (`scripts/check_bench_schema.py`) and the emitter cannot silently
@@ -166,7 +169,7 @@ fn json_opt(v: Option<f64>) -> String {
 }
 
 impl ScaleArtifact {
-    /// Renders the artifact as the v5 JSON document.
+    /// Renders the artifact as the v6 JSON document.
     pub fn to_json(&self) -> String {
         let mut rows = String::new();
         for (i, r) in self.rows.iter().enumerate() {
@@ -354,6 +357,19 @@ impl ExperimentScale {
     /// (24 000 vs 10 000).
     pub fn mls_evals(&self) -> u64 {
         (self.evals as f64 * 2.4).round() as u64
+    }
+
+    /// The campaign budget these scale knobs denote — the bridge into
+    /// the resident service's vocabulary
+    /// ([`serve::campaign::CampaignBudget`]); `algorithms_for` routes
+    /// through this, so harness rows and service campaigns are
+    /// constructed identically.
+    pub fn campaign_budget(&self) -> serve::campaign::CampaignBudget {
+        serve::campaign::CampaignBudget {
+            paper: self.paper,
+            evals: self.evals,
+            reps: self.reps,
+        }
     }
 }
 

@@ -1824,6 +1824,14 @@ impl<P: Protocol> Simulator<P> {
         self.run_to_end()
     }
 
+    /// The scenario's configured end time in seconds — the horizon
+    /// [`run_to_end`](Self::run_to_end) runs to. Exposed so drivers that
+    /// advance the clock in chunks via [`run_until`](Self::run_until)
+    /// (e.g. a service streaming progress) know where the run finishes.
+    pub fn end_time(&self) -> f64 {
+        self.world.spec.end_time
+    }
+
     /// Runs to `end_time` and returns the report, keeping the simulator
     /// alive for a subsequent [`reset`](Self::reset).
     pub fn run_to_end(&mut self) -> SimReport {

@@ -66,6 +66,17 @@
 //! [`DenseScenario::parse_spec`] and [`DenseScenario::spec_string`]
 //! round-trip the grammar (`parse(format(s)) == s`, a pinned property).
 //!
+//! The grammar deliberately covers **less than the builder**: a group's
+//! text modifiers reach only its mobility kind (`still`/`walk`/`rwp`)
+//! and transmit power. Placement disciplines
+//! ([`GroupPlacement::Rect`]/[`GroupPlacement::Explicit`]) and per-group
+//! speed ranges are **builder-only** — set them through
+//! [`NodeGroup::placement`] and [`NodeGroup::speed_range`]; they have no
+//! text form, and [`DenseScenario::spec_string`] omits them rather than
+//! inventing one. A spec string therefore round-trips only the
+//! grammar-expressible subset of a scenario; anything built with those
+//! knobs must be reconstructed in code.
+//!
 //! The historical entry points — [`SimConfig`], `Scenario::dense`, the
 //! bench `--dense` flag — are thin adapters over this module:
 //! [`SimConfig::to_world`] lifts a flat config into a single-group spec,

@@ -17,7 +17,7 @@
 //! into random cells — the MOCell feedback loop that gives the algorithm
 //! its strong diversity (the paper's spread results for CellDE).
 
-use crate::common::{MoAlgorithm, RunResult};
+use crate::common::{MoAlgorithm, NoProgress, RunObserver, RunResult};
 use mopt::archive::AgaArchive;
 use mopt::dominance::{constrained_dominance, DominanceOrd};
 use mopt::ops::{de_rand_1_bin, distinct_indices, uniform_init};
@@ -111,6 +111,15 @@ impl MoAlgorithm for CellDe {
     }
 
     fn run(&self, problem: &dyn Problem, seed: u64) -> RunResult {
+        self.run_observed(problem, seed, &NoProgress)
+    }
+
+    fn run_observed(
+        &self,
+        problem: &dyn Problem,
+        seed: u64,
+        observer: &dyn RunObserver,
+    ) -> RunResult {
         let start = Instant::now();
         let cfg = &self.config;
         assert!(cfg.grid_side >= 2, "grid must be at least 2×2");
@@ -118,6 +127,7 @@ impl MoAlgorithm for CellDe {
         let bounds = problem.bounds();
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut evals: u64 = 0;
+        let mut generation: u64 = 0;
 
         let init_xs: Vec<Vec<f64>> = (0..n).map(|_| uniform_init(bounds, &mut rng)).collect();
         evals += init_xs.len() as u64;
@@ -126,8 +136,9 @@ impl MoAlgorithm for CellDe {
         for c in &grid {
             archive.try_insert(c.clone());
         }
+        observer.on_generation(generation, evals, archive.members());
 
-        while evals < cfg.max_evaluations {
+        while evals < cfg.max_evaluations && !observer.cancelled() {
             // Synchronous generation: trial vectors are built against the
             // generation-start grid and the whole generation is evaluated
             // as ONE batch through the problem's batched pipeline;
@@ -192,6 +203,8 @@ impl MoAlgorithm for CellDe {
                     grid[slot] = elite.clone();
                 }
             }
+            generation += 1;
+            observer.on_generation(generation, evals, archive.members());
         }
 
         let result = RunResult {
@@ -276,6 +289,30 @@ mod tests {
                 .map(|c| c.objectives.clone())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        struct Counter(std::sync::atomic::AtomicU64);
+        impl RunObserver for Counter {
+            fn on_generation(&self, _g: u64, _e: u64, _p: &[Candidate]) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let alg = CellDe::new(CellDeConfig::quick(4, 600));
+        let p = Schaffer::new();
+        let plain = alg.run(&p, 10);
+        let obs = Counter(std::sync::atomic::AtomicU64::new(0));
+        let observed = alg.run_observed(&p, 10, &obs);
+        let project = |r: &RunResult| {
+            r.front
+                .iter()
+                .map(|c| (c.params.clone(), c.objectives.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(project(&plain), project(&observed));
+        assert_eq!(plain.evaluations, observed.evaluations);
+        assert!(obs.0.load(std::sync::atomic::Ordering::Relaxed) > 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
 //! Re-export of the shared algorithm interface from `mopt` (kept for
 //! backwards-compatible paths: `moea::common::MoAlgorithm`).
 
-pub use mopt::algorithm::{MoAlgorithm, RunResult};
+pub use mopt::algorithm::{MoAlgorithm, NoProgress, RunObserver, RunResult};

@@ -15,7 +15,7 @@
 //! 5. after each generation, `feedback` archive members are re-injected
 //!    into random cells.
 
-use crate::common::{MoAlgorithm, RunResult};
+use crate::common::{MoAlgorithm, NoProgress, RunObserver, RunResult};
 use mopt::archive::AgaArchive;
 use mopt::dominance::{constrained_dominance, DominanceOrd};
 use mopt::ops::{binary_tournament, polynomial_mutation, sbx_crossover, uniform_init};
@@ -114,6 +114,15 @@ impl MoAlgorithm for MoCell {
     }
 
     fn run(&self, problem: &dyn Problem, seed: u64) -> RunResult {
+        self.run_observed(problem, seed, &NoProgress)
+    }
+
+    fn run_observed(
+        &self,
+        problem: &dyn Problem,
+        seed: u64,
+        observer: &dyn RunObserver,
+    ) -> RunResult {
         let start = Instant::now();
         let cfg = &self.config;
         assert!(cfg.grid_side >= 2);
@@ -122,6 +131,7 @@ impl MoAlgorithm for MoCell {
         let pm = cfg.mutation_prob.unwrap_or(1.0 / bounds.len() as f64);
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut evals: u64 = 0;
+        let mut generation: u64 = 0;
 
         let init_xs: Vec<Vec<f64>> = (0..n).map(|_| uniform_init(bounds, &mut rng)).collect();
         evals += init_xs.len() as u64;
@@ -130,8 +140,9 @@ impl MoAlgorithm for MoCell {
         for c in &grid {
             archive.try_insert(c.clone());
         }
+        observer.on_generation(generation, evals, archive.members());
 
-        while evals < cfg.max_evaluations {
+        while evals < cfg.max_evaluations && !observer.cancelled() {
             // Synchronous generation: variation reads the generation-start
             // grid and all offspring are evaluated as ONE batch (the
             // batched pipeline lets expensive problems fan the whole
@@ -186,6 +197,8 @@ impl MoAlgorithm for MoCell {
                     grid[slot] = elite.clone();
                 }
             }
+            generation += 1;
+            observer.on_generation(generation, evals, archive.members());
         }
 
         RunResult {
@@ -252,6 +265,30 @@ mod tests {
                 .map(|c| c.objectives.clone())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        struct Counter(std::sync::atomic::AtomicU64);
+        impl RunObserver for Counter {
+            fn on_generation(&self, _g: u64, _e: u64, _p: &[Candidate]) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        let alg = MoCell::new(MoCellConfig::quick(4, 600));
+        let p = Schaffer::new();
+        let plain = alg.run(&p, 10);
+        let obs = Counter(std::sync::atomic::AtomicU64::new(0));
+        let observed = alg.run_observed(&p, 10, &obs);
+        let project = |r: &RunResult| {
+            r.front
+                .iter()
+                .map(|c| (c.params.clone(), c.objectives.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(project(&plain), project(&observed));
+        assert_eq!(plain.evaluations, observed.evaluations);
+        assert!(obs.0.load(std::sync::atomic::Ordering::Relaxed) > 1);
     }
 
     #[test]

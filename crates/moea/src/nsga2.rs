@@ -8,7 +8,7 @@
 //! crowding distance. Constraints use Deb's feasibility-first dominance
 //! throughout (`mopt::dominance`).
 
-use crate::common::{MoAlgorithm, RunResult};
+use crate::common::{MoAlgorithm, NoProgress, RunObserver, RunResult};
 use mopt::ops::{polynomial_mutation, sbx_crossover, uniform_init};
 use mopt::problem::Problem;
 use mopt::solution::Candidate;
@@ -103,6 +103,15 @@ impl MoAlgorithm for Nsga2 {
     }
 
     fn run(&self, problem: &dyn Problem, seed: u64) -> RunResult {
+        self.run_observed(problem, seed, &NoProgress)
+    }
+
+    fn run_observed(
+        &self,
+        problem: &dyn Problem,
+        seed: u64,
+        observer: &dyn RunObserver,
+    ) -> RunResult {
         let start = Instant::now();
         let cfg = &self.config;
         let bounds = problem.bounds();
@@ -110,6 +119,7 @@ impl MoAlgorithm for Nsga2 {
         let pm = cfg.mutation_prob.unwrap_or(1.0 / nvar as f64);
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut evals: u64 = 0;
+        let mut generation: u64 = 0;
 
         // Initial population, evaluated as one batch so expensive problems
         // can parallelise across the whole generation.
@@ -118,8 +128,9 @@ impl MoAlgorithm for Nsga2 {
             .collect();
         evals += init_xs.len() as u64;
         let mut pop: Vec<Candidate> = problem.make_candidates(init_xs);
+        observer.on_generation(generation, evals, &pop);
 
-        while evals < cfg.max_evaluations {
+        while evals < cfg.max_evaluations && !observer.cancelled() {
             // Rank/crowding of the current population for selection.
             let fronts = fast_non_dominated_sort(&pop);
             let mut rank = vec![0usize; pop.len()];
@@ -168,6 +179,8 @@ impl MoAlgorithm for Nsga2 {
                 next.push(pop[i].clone());
             }
             pop = next;
+            generation += 1;
+            observer.on_generation(generation, evals, &pop);
         }
 
         let result = RunResult {
@@ -249,6 +262,57 @@ mod tests {
                 .map(|x| x.objectives.clone())
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        use std::sync::Mutex;
+        struct Recorder(Mutex<Vec<(u64, u64, usize)>>);
+        impl RunObserver for Recorder {
+            fn on_generation(&self, generation: u64, evaluations: u64, pool: &[Candidate]) {
+                self.0
+                    .lock()
+                    .unwrap()
+                    .push((generation, evaluations, pool.len()));
+            }
+        }
+        let alg = Nsga2::new(Nsga2Config::quick(20, 600));
+        let p = Schaffer::new();
+        let plain = alg.run(&p, 42);
+        let rec = Recorder(Mutex::new(Vec::new()));
+        let observed = alg.run_observed(&p, 42, &rec);
+        let project = |r: &RunResult| {
+            r.front
+                .iter()
+                .map(|c| (c.params.clone(), c.objectives.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(project(&plain), project(&observed));
+        assert_eq!(plain.evaluations, observed.evaluations);
+        let events = rec.0.into_inner().unwrap();
+        assert!(events.len() > 1, "should see generation 0 plus the loop");
+        assert_eq!(events[0].0, 0);
+        assert!(events.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        assert!(events.windows(2).all(|w| w[0].1 < w[1].1));
+        assert_eq!(events.last().unwrap().1, 600);
+    }
+
+    #[test]
+    fn cancellation_stops_early_with_partial_front() {
+        struct CancelAfter(std::sync::atomic::AtomicU64);
+        impl RunObserver for CancelAfter {
+            fn on_generation(&self, _g: u64, _e: u64, _p: &[Candidate]) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            fn cancelled(&self) -> bool {
+                self.0.load(std::sync::atomic::Ordering::Relaxed) >= 3
+            }
+        }
+        let alg = Nsga2::new(Nsga2Config::quick(20, 10_000));
+        let obs = CancelAfter(std::sync::atomic::AtomicU64::new(0));
+        let r = alg.run_observed(&Schaffer::new(), 7, &obs);
+        assert!(!r.front.is_empty());
+        assert!(r.evaluations < 10_000, "stopped early: {}", r.evaluations);
     }
 
     #[test]

@@ -46,6 +46,53 @@ impl RunResult {
     }
 }
 
+/// Observer of a run's progress, called from inside
+/// [`MoAlgorithm::run_observed`] between generations.
+///
+/// Two guarantees make observers safe to bolt onto any algorithm:
+///
+/// * **Read-only**: an observer never feeds back into the search — the
+///   observed run's RNG stream, trajectory and result are bit-identical
+///   to an unobserved [`MoAlgorithm::run`] (pinned per algorithm by the
+///   `observed_run_matches_plain_run` tests).
+/// * **Cooperative cancellation**: [`cancelled`](Self::cancelled) is
+///   polled at generation boundaries; once it returns `true` the
+///   algorithm stops early and returns the front it has (sanitized), so
+///   a resident service can abandon a long campaign without killing the
+///   process.
+///
+/// Algorithms whose internal structure has no generation barrier to hook
+/// (the multi-threaded AEDB-MLS) fall back to the default
+/// [`MoAlgorithm::run_observed`], which runs to completion and reports
+/// nothing — cancellation for those happens at the caller's coarser
+/// boundaries (e.g. between campaign repetitions).
+pub trait RunObserver: Sync {
+    /// Called after every evaluated generation with the generation index
+    /// (0 = the evaluated initial population), the evaluations consumed
+    /// so far and the algorithm's current solution pool — the population
+    /// or archive the final front will be drawn from, *not* yet filtered
+    /// to non-dominated solutions (observers that want a front snapshot
+    /// apply [`non_dominated`](crate::dominance::non_dominated)
+    /// themselves, keeping the common no-observer path free of that
+    /// cost).
+    fn on_generation(&self, generation: u64, evaluations: u64, pool: &[Candidate]) {
+        let _ = (generation, evaluations, pool);
+    }
+
+    /// Polled at generation boundaries; returning `true` makes the run
+    /// stop early with the solutions found so far.
+    fn cancelled(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing observer; [`MoAlgorithm::run`] is exactly
+/// `run_observed` through this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProgress;
+
+impl RunObserver for NoProgress {}
+
 /// A multi-objective optimiser with deterministic seeded runs.
 pub trait MoAlgorithm {
     /// Short display name ("NSGAII", "CellDE", "AEDB-MLS").
@@ -53,6 +100,21 @@ pub trait MoAlgorithm {
 
     /// Runs the algorithm once with the given seed.
     fn run(&self, problem: &dyn Problem, seed: u64) -> RunResult;
+
+    /// Runs the algorithm once, reporting per-generation progress to
+    /// `observer` and honouring its cancellation flag. The observed run
+    /// is bit-identical to [`run`](Self::run); the default implementation
+    /// ignores the observer entirely (correct for algorithms with no
+    /// generation structure to report — see [`RunObserver`]).
+    fn run_observed(
+        &self,
+        problem: &dyn Problem,
+        seed: u64,
+        observer: &dyn RunObserver,
+    ) -> RunResult {
+        let _ = observer;
+        self.run(problem, seed)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,137 @@
+//! The resident simulation service: submit jobs, stream progress, replay
+//! archived campaigns.
+//!
+//! Walks the whole service lifecycle in one process:
+//!
+//! 1. a high-priority **simulate** job (raw simulator runs: one world,
+//!    three protocols compared seed-by-seed),
+//! 2. a **campaign** job (NSGA-II on the sparsest scenario) with live
+//!    per-generation front snapshots,
+//! 3. the *same* campaign resubmitted — answered bit-identically from the
+//!    archive, with zero simulation,
+//! 4. a cancelled campaign.
+//!
+//! The service here runs on the in-memory backend so the example leaves
+//! nothing on disk; swap [`SimService::in_memory`] for
+//! [`SimService::on_disk`] and step 3 also works across process restarts
+//! (that round-trip is pinned by `tests/service.rs`).
+//!
+//! ```sh
+//! cargo run --release --example resident_service
+//! ```
+
+use aedb_repro::prelude::*;
+
+fn main() {
+    let service = SimService::in_memory();
+
+    // 1. Raw simulator runs: the same 30-node world under three protocols.
+    let world = WorldSpec::builder()
+        .seed(11)
+        .group(NodeGroup::new(30))
+        .build()
+        .expect("valid spec");
+    println!("== simulate jobs: 30-node world, 3 seeds per protocol ==");
+    for (label, protocol) in [
+        ("source-only", ProtocolSpec::SourceOnly),
+        ("flooding", ProtocolSpec::Flooding { jitter: (0.0, 0.1) }),
+        ("aedb", ProtocolSpec::Aedb(AedbParams::default_config())),
+    ] {
+        let job = service.submit(
+            JobSpec::Simulate(SimulateSpec {
+                world: world.clone(),
+                protocol,
+                seeds: vec![1, 2, 3],
+            }),
+            Priority::High,
+        );
+        let result = job.wait().expect("simulate job succeeds");
+        for s in result.output.simulated().expect("simulate output") {
+            println!(
+                "  {label:>11} seed {}: coverage {}/{}, {} forwardings, {:.2} s",
+                s.seed,
+                s.coverage,
+                s.n_nodes - 1,
+                s.forwardings,
+                s.broadcast_time,
+            );
+        }
+    }
+
+    // 2. A campaign with live progress: NSGA-II, 2 repetitions.
+    let spec = CampaignSpec {
+        scenario: Scenario::quick(Density::D100, 2),
+        algorithm: AlgorithmKind::Nsga2,
+        budget: CampaignBudget::quick(200, 2),
+    };
+    println!(
+        "\n== campaign: {} on {} ==",
+        spec.algorithm.name(),
+        spec.scenario.label()
+    );
+    let job = service.submit(JobSpec::Campaign(spec.clone()), Priority::Normal);
+    let result = loop {
+        match job.next_event() {
+            Some(JobEvent::Generation {
+                rep,
+                generation,
+                evaluations,
+                front,
+                ..
+            }) if generation % 5 == 0 => {
+                println!(
+                    "  rep {rep} gen {generation:>3}: {evaluations:>4} evals, front size {}",
+                    front.len()
+                );
+            }
+            Some(JobEvent::Finished { output, .. }) => break output,
+            Some(JobEvent::Failed { error, .. }) => panic!("campaign failed: {error}"),
+            Some(_) => {}
+            None => panic!("service dropped the job"),
+        }
+    };
+    let fresh = result.campaign().expect("campaign output").clone();
+    println!(
+        "  finished: {} reps, front sizes {:?}",
+        fresh.reps.len(),
+        fresh.reps.iter().map(|r| r.front.len()).collect::<Vec<_>>()
+    );
+
+    // 3. Resubmit: the archive answers without re-simulating.
+    let job = service.submit(JobSpec::Campaign(spec), Priority::Normal);
+    let replayed = job.wait().expect("replay succeeds");
+    assert!(replayed.replayed, "second submission must replay");
+    assert!(
+        *replayed.output.campaign().expect("campaign output") == fresh,
+        "replayed result is bit-identical"
+    );
+    println!("\n== resubmission replayed from archive, bit-identical ==");
+
+    // 4. Cancellation: stop a long campaign at the next generation barrier.
+    let job = service.submit(
+        JobSpec::Campaign(CampaignSpec {
+            scenario: Scenario::quick(Density::D100, 2),
+            algorithm: AlgorithmKind::CellDe,
+            budget: CampaignBudget::quick(100_000, 1),
+        }),
+        Priority::Low,
+    );
+    // Wait for proof the campaign is running, then cancel it.
+    loop {
+        match job.next_event() {
+            Some(JobEvent::Generation { .. }) => {
+                service.cancel(job.id());
+            }
+            Some(JobEvent::Failed { error, .. }) => {
+                println!("== long campaign cancelled cooperatively: {error} ==");
+                break;
+            }
+            Some(JobEvent::Finished { .. }) => panic!("cancelled campaign finished"),
+            Some(_) => {}
+            None => panic!("service dropped the job"),
+        }
+    }
+
+    service.drain();
+    println!("service drained; bye");
+}

@@ -6,7 +6,9 @@ Usage: check_bench_schema.py [PATH] [--rows N]
 PATH defaults to BENCH_scale.json in the current directory. --rows asserts
 the exact scenario-row count (CI passes the count its smoke run produces).
 
-The v6 schema is documented (and emitted) in crates/bench/src/scale.rs.
+The v6 schema is emitted by ScaleArtifact in crates/bench/src/scale.rs and
+documented field-by-field in docs/BENCH_SCHEMA.md (calibration workload,
+host_parallelism gating and ceiling semantics included).
 Beyond key presence, the structural invariants checked here are the ones a
 broken profiler or a half-written emitter would violate:
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Check that every local link in the prose docs points at a real path.
+
+Usage: check_docs_links.py [FILE_OR_DIR ...]
+
+Defaults to README.md plus every .md file under docs/. For each markdown
+inline link `[text](target)`:
+
+  * http(s)/mailto targets are skipped (this repo builds offline; external
+    reachability is not this script's job);
+  * pure-anchor targets (`#section`) are skipped;
+  * everything else is resolved relative to the file containing the link
+    (any `#fragment` suffix stripped) and must exist on disk — so a doc
+    that names a crate, script or test file keeps pointing at the real
+    path after refactors, which is the acceptance contract of the docs
+    layer ("code references point at real paths").
+
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo's
+# docs. The target group stops at the first unescaped ')'.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def doc_files(args):
+    if args:
+        roots = args
+    else:
+        roots = ["README.md", "docs"]
+    files = []
+    for root in roots:
+        if os.path.isdir(root):
+            for dirpath, _, names in os.walk(root):
+                files.extend(
+                    os.path.join(dirpath, n) for n in sorted(names) if n.endswith(".md")
+                )
+        elif os.path.exists(root):
+            files.append(root)
+        else:
+            print(f"check_docs_links: FAIL: no such input {root!r}", file=sys.stderr)
+            sys.exit(1)
+    return files
+
+
+def main(argv):
+    broken = []
+    checked = 0
+    for path in doc_files(argv[1:]):
+        base = os.path.dirname(path)
+        text = open(path, encoding="utf-8").read()
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            if target.startswith("#"):
+                continue
+            local = target.split("#", 1)[0]
+            checked += 1
+            if not os.path.exists(os.path.join(base, local)):
+                line = text.count("\n", 0, match.start()) + 1
+                broken.append(f"{path}:{line}: broken link -> {target}")
+    for b in broken:
+        print(f"check_docs_links: FAIL: {b}", file=sys.stderr)
+    if broken:
+        sys.exit(1)
+    print(f"check_docs_links: OK ({checked} local links resolve)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -24,7 +24,13 @@
 //! * [`moea`] — the NSGA-II, MOCell and CellDE baselines, feeding whole
 //!   generations to the problem at once,
 //! * [`mls`] — AEDB-MLS, the paper's parallel multi-objective local search,
-//! * [`fast99`] — the FAST99 global sensitivity analysis.
+//! * [`fast99`] — the FAST99 global sensitivity analysis,
+//! * [`serve`] — the resident simulation service: submit simulate or
+//!   campaign jobs to a [`SimService`](serve::SimService), stream progress
+//!   events, cancel, and replay archived campaigns across restarts,
+//! * [`store`] — the pluggable [`Storage`](store::Storage) trait behind the
+//!   service's campaign archive and the AEDB eval cache (disk and
+//!   in-memory backends).
 //!
 //! ## Quickstart
 //!
@@ -96,6 +102,8 @@ pub use fast99;
 pub use manet;
 pub use moea;
 pub use mopt;
+pub use serve;
+pub use store;
 
 /// One-stop imports for examples and quick experiments.
 pub mod prelude {
@@ -124,4 +132,9 @@ pub mod prelude {
     pub use mopt::problem::{Evaluation, Problem};
     pub use mopt::solution::{Bounds, Candidate};
     pub use mopt::stats::{boxplot, wilcoxon_rank_sum};
+    pub use serve::campaign::{AlgorithmKind, CampaignBudget, CampaignSpec};
+    pub use serve::{
+        JobEvent, JobHandle, JobResult, JobSpec, Priority, ProtocolSpec, SimService, SimulateSpec,
+    };
+    pub use store::{DiskStorage, MemoryStorage, Storage};
 }

@@ -4,10 +4,17 @@
 //! second invocation replays every finished campaign from disk without
 //! re-simulating.
 //!
+//! After the paper's three-way comparison, an **island vs NSGA-II** block
+//! runs both algorithms at an equal evaluation budget per density and
+//! records the island run's hypervolume-vs-evaluations trajectory from
+//! its streamed `AnytimeFront` epochs (fronts normalised over the union
+//! of both final fronts, reference point 1.1 per axis).
+//!
 //! Accepts the usual scale flags (`--paper`, `--reps`, `--evals`,
 //! `--networks`, `--densities`); see `exp_all --help`.
 
 use bench_harness::scale::ExperimentScale;
+use mopt::indicators::{hypervolume, Normalizer};
 use serve::campaign::{AlgorithmKind, CampaignSpec};
 use serve::{JobEvent, JobSpec, Priority, SimService};
 
@@ -71,6 +78,86 @@ fn main() {
                     ""
                 },
             );
+        }
+    }
+
+    // Island vs NSGA-II at an equal evaluation budget. The NSGA-II
+    // campaign is usually answered from the archive (it just ran above);
+    // the island campaign streams its anytime front as it improves.
+    println!(
+        "\n== island vs NSGA-II, equal budget ({} evals × {} reps) ==",
+        budget.evals, budget.reps
+    );
+    for &density in &scale.densities {
+        let submit = |algorithm| {
+            service.submit(
+                JobSpec::Campaign(CampaignSpec {
+                    scenario: Scenario::quick(density, scale.networks),
+                    algorithm,
+                    budget,
+                }),
+                Priority::Normal,
+            )
+        };
+        let island_handle = submit(AlgorithmKind::Island);
+        // Drain the island stream, recording rep 0's anytime trajectory.
+        let mut trajectory: Vec<(u64, Vec<Vec<f64>>)> = Vec::new();
+        let island = loop {
+            match island_handle.next_event() {
+                Some(JobEvent::AnytimeFront {
+                    rep: 0,
+                    evaluations,
+                    front,
+                    ..
+                }) => trajectory.push((evaluations, front)),
+                Some(JobEvent::Finished { output, .. }) => break output,
+                Some(JobEvent::Failed { error, .. }) => {
+                    panic!("{density} island campaign failed: {error}")
+                }
+                Some(_) => {}
+                None => panic!("service dropped the island campaign"),
+            }
+        };
+        let nsga2 = submit(AlgorithmKind::Nsga2)
+            .wait()
+            .expect("NSGA-II campaign runs")
+            .output;
+        let island_front: Vec<Vec<f64>> = island.campaign().expect("campaign output").reps[0]
+            .front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect();
+        let nsga2_front: Vec<Vec<f64>> = nsga2.campaign().expect("campaign output").reps[0]
+            .front
+            .iter()
+            .map(|c| c.objectives.clone())
+            .collect();
+
+        // Normalise over the union of both final fronts (the paper's
+        // protocol) and compare with reference point 1.1 per axis.
+        let union: Vec<Vec<f64>> = island_front.iter().chain(&nsga2_front).cloned().collect();
+        let Some(norm) = Normalizer::from_points(&union) else {
+            println!("{density}: empty fronts, nothing to compare");
+            continue;
+        };
+        let reference = vec![1.1; union[0].len()];
+        let hv_of = |front: &[Vec<f64>]| hypervolume(&norm.apply_front(front), &reference);
+        println!(
+            "{density}: rep 0 final HV — Island {:.4} ({} pts) vs NSGAII {:.4} ({} pts)",
+            hv_of(&island_front),
+            island_front.len(),
+            hv_of(&nsga2_front),
+            nsga2_front.len(),
+        );
+        if trajectory.is_empty() {
+            println!("  (replayed from archive — no anytime trajectory streamed)");
+        } else {
+            print!("  HV trajectory:");
+            let step = (trajectory.len() / 6).max(1);
+            for (evals, front) in trajectory.iter().step_by(step).chain(trajectory.last()) {
+                print!(" {evals}:{:.4}", hv_of(front));
+            }
+            println!();
         }
     }
 

@@ -1,0 +1,161 @@
+//! The global anytime archive: an unbounded, dominance-only
+//! non-dominated set.
+//!
+//! Per-island archives are bounded ([`mopt::archive::AgaArchive`]) and may
+//! evict non-dominated members for density reasons — which can *decrease*
+//! hypervolume. The global reduction must not: the anytime front a client
+//! streams has to improve monotonically, so this archive only ever removes
+//! a member when a dominating (or feasibility-superior) candidate arrives.
+//! Against any fixed reference point its hypervolume is therefore
+//! non-decreasing over merges (pinned by the optimizer test-suite).
+
+use mopt::dominance::{constrained_dominance, DominanceOrd};
+use mopt::solution::Candidate;
+
+/// An unbounded non-dominated set with deterministic insertion semantics.
+#[derive(Debug, Clone, Default)]
+pub struct AnytimeArchive {
+    members: Vec<Candidate>,
+}
+
+impl AnytimeArchive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the archive is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The current non-dominated set.
+    pub fn members(&self) -> &[Candidate] {
+        &self.members
+    }
+
+    /// Consumes the archive, returning its members.
+    pub fn into_members(self) -> Vec<Candidate> {
+        self.members
+    }
+
+    /// Objective vectors of the current front (streaming payload).
+    pub fn objectives(&self) -> Vec<Vec<f64>> {
+        self.members.iter().map(|c| c.objectives.clone()).collect()
+    }
+
+    /// Offers a candidate. Rejected iff an existing member dominates it or
+    /// holds an identical (objectives, violation) point; members dominated
+    /// by the newcomer are removed. Returns whether it was added.
+    pub fn insert(&mut self, c: Candidate) -> bool {
+        let mut doomed = Vec::new();
+        for (i, m) in self.members.iter().enumerate() {
+            match constrained_dominance(m, &c) {
+                DominanceOrd::Dominates => return false,
+                DominanceOrd::DominatedBy => doomed.push(i),
+                DominanceOrd::Indifferent => {
+                    if m.objectives == c.objectives && m.violation == c.violation {
+                        return false;
+                    }
+                }
+            }
+        }
+        for &i in doomed.iter().rev() {
+            self.members.swap_remove(i);
+        }
+        self.members.push(c);
+        true
+    }
+
+    /// Offers every candidate in order; returns how many were added. Merge
+    /// order is part of the determinism contract — the optimizer always
+    /// merges island archives in island-index order.
+    pub fn merge<'a, I: IntoIterator<Item = &'a Candidate>>(&mut self, iter: I) -> usize {
+        iter.into_iter()
+            .filter(|c| self.insert((*c).clone()))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(obj: &[f64]) -> Candidate {
+        Candidate::evaluated(vec![], obj.to_vec(), 0.0)
+    }
+
+    #[test]
+    fn unbounded_keeps_every_non_dominated_point() {
+        let mut a = AnytimeArchive::new();
+        for i in 0..200 {
+            let x = i as f64;
+            assert!(a.insert(cand(&[x, 199.0 - x])));
+        }
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn dominated_and_duplicate_points_rejected() {
+        let mut a = AnytimeArchive::new();
+        assert!(a.insert(cand(&[1.0, 1.0])));
+        assert!(!a.insert(cand(&[2.0, 2.0])), "dominated");
+        assert!(!a.insert(cand(&[1.0, 1.0])), "duplicate");
+        assert!(a.insert(cand(&[0.5, 2.0])));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn newcomer_sweeps_dominated_members() {
+        let mut a = AnytimeArchive::new();
+        a.insert(cand(&[2.0, 2.0]));
+        a.insert(cand(&[3.0, 1.5]));
+        assert!(a.insert(cand(&[1.0, 1.0])));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.members()[0].objectives, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn feasible_point_replaces_infeasible_front() {
+        let mut a = AnytimeArchive::new();
+        a.insert(Candidate::evaluated(vec![], vec![0.0, 0.0], 2.0));
+        assert!(a.insert(cand(&[9.0, 9.0])));
+        assert_eq!(a.len(), 1);
+        assert!(a.members()[0].is_feasible());
+    }
+
+    #[test]
+    fn merge_counts_additions() {
+        let mut a = AnytimeArchive::new();
+        let batch = vec![cand(&[1.0, 3.0]), cand(&[2.0, 2.0]), cand(&[2.5, 2.5])];
+        assert_eq!(a.merge(&batch), 2); // third is dominated by the second
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn hypervolume_non_decreasing_under_inserts() {
+        use mopt::indicators::hypervolume;
+        let reference = [10.0, 10.0];
+        let mut a = AnytimeArchive::new();
+        let mut last = 0.0;
+        let points = [
+            [5.0, 5.0],
+            [7.0, 7.0], // dominated: no change
+            [2.0, 8.0],
+            [8.0, 2.0],
+            [1.0, 1.0], // sweeps everything
+            [0.5, 9.5],
+        ];
+        for p in points {
+            a.insert(cand(&p));
+            let hv = hypervolume(&a.objectives(), &reference);
+            assert!(hv >= last, "hv dropped: {hv} < {last}");
+            last = hv;
+        }
+    }
+}

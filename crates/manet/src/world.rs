@@ -56,7 +56,11 @@
 //! spec   := head ( '+' group )*
 //! head   := n '@' per_km2 [ '@' sigma ] modifier*
 //! group  := n modifier*
-//! modifier := ':' ( 'still' | 'walk' [interval] | 'rwp' [pause] | power 'dbm' )
+//! modifier := ':' ( 'still' | 'walk' [interval] | 'rwp' [pause]
+//!               | 'speed' lo '-' hi
+//!               | 'rect' x 'x' y '-' x 'x' y
+//!               | 'at' x 'x' y ( '-' x 'x' y )*
+//!               | power 'dbm' )
 //! ```
 //!
 //! `2000@200@4` is 2000 random-walk nodes at 200 devices/km² under 4 dB
@@ -66,16 +70,19 @@
 //! [`DenseScenario::parse_spec`] and [`DenseScenario::spec_string`]
 //! round-trip the grammar (`parse(format(s)) == s`, a pinned property).
 //!
-//! The grammar deliberately covers **less than the builder**: a group's
-//! text modifiers reach only its mobility kind (`still`/`walk`/`rwp`)
-//! and transmit power. Placement disciplines
-//! ([`GroupPlacement::Rect`]/[`GroupPlacement::Explicit`]) and per-group
-//! speed ranges are **builder-only** — set them through
-//! [`NodeGroup::placement`] and [`NodeGroup::speed_range`]; they have no
-//! text form, and [`DenseScenario::spec_string`] omits them rather than
-//! inventing one. A spec string therefore round-trips only the
-//! grammar-expressible subset of a scenario; anything built with those
-//! knobs must be reconstructed in code.
+//! The grammar covers the **whole group surface of the builder**: mobility
+//! kind (`still`/`walk`/`rwp`), the speed range the model draws from
+//! (`:speed0.5-1.5`), the placement discipline — `:rect10x20-100x200` for
+//! a [`GroupPlacement::Rect`] sub-rectangle (min corner – max corner),
+//! `:at50x50-150x50` for [`GroupPlacement::Explicit`] positions, one
+//! `x`-pair per node — and transmit power. Coordinates are field
+//! coordinates and therefore non-negative, which is what lets `-`
+//! separate corners and points unambiguously; none of the payloads may
+//! contain `+`, `:` or `,` (those delimit groups, modifiers and the
+//! `--dense` CLI list). The canonical form emitted by
+//! [`DenseScenario::spec_string`] omits every default (walk 20 s, speeds
+//! `[0, 2]`, uniform placement, default power) — in modifier order
+//! mobility, speed, placement, power.
 //!
 //! The historical entry points — [`SimConfig`], `Scenario::dense`, the
 //! bench `--dense` flag — are thin adapters over this module:
@@ -708,10 +715,12 @@ impl DenseScenario {
 
     /// Parses the scenario text grammar (see the [module docs](self)):
     /// `n@density[@sigma]` optionally followed by `+n`-groups with
-    /// `:still` / `:walk[interval]` / `:rwp[pause]` / `:POWERdbm`
-    /// modifiers. Strict: malformed component counts, empty or
-    /// non-numeric fields and unknown modifiers are errors, never silently
-    /// part-parsed.
+    /// `:still` / `:walk[interval]` / `:rwp[pause]` / `:speedLO-HI` /
+    /// `:rectXxY-XxY` / `:atXxY[-XxY...]` / `:POWERdbm` modifiers.
+    /// Strict: malformed component counts, empty or non-numeric fields,
+    /// unknown modifiers, inverted speed ranges or rectangles, negative
+    /// coordinates and explicit placements whose point count differs from
+    /// the group size are errors, never silently part-parsed.
     pub fn parse_spec(spec: &str) -> Result<Self, SpecError> {
         let err = |detail: &str| SpecError {
             spec: spec.to_string(),
@@ -810,6 +819,20 @@ where
     F: Fn(&str) -> SpecError,
 {
     let (mut saw_mobility, mut saw_power) = (false, false);
+    let (mut saw_speed, mut saw_placement) = (false, false);
+    // A field coordinate: non-negative and finite, so `-` can separate
+    // corners and points without colliding with a sign.
+    let coord = |s: &str, detail: &'static str| -> Result<f64, SpecError> {
+        let v: f64 = s.trim().parse().map_err(|_| err(detail))?;
+        if !(v >= 0.0 && v.is_finite()) {
+            return Err(err(detail));
+        }
+        Ok(v)
+    };
+    let point = |s: &str, detail: &'static str| -> Result<Vec2, SpecError> {
+        let (x, y) = s.split_once('x').ok_or_else(|| err(detail))?;
+        Ok(Vec2::new(coord(x, detail)?, coord(y, detail)?))
+    };
     for field in fields {
         let m = field.trim();
         if let Some(power) = m.strip_suffix("dbm") {
@@ -822,6 +845,53 @@ where
                 return Err(err("bad power"));
             }
             group.tx_power_dbm = Some(dbm);
+            continue;
+        }
+        if let Some(range) = m.strip_prefix("speed") {
+            if saw_speed {
+                return Err(err("duplicate speed modifier"));
+            }
+            saw_speed = true;
+            let (lo, hi) = range
+                .split_once('-')
+                .ok_or_else(|| err("bad speed range"))?;
+            let lo = coord(lo, "bad speed range")?;
+            let hi = coord(hi, "bad speed range")?;
+            if hi < lo {
+                return Err(err("bad speed range"));
+            }
+            group.speed_range = (lo, hi);
+            continue;
+        }
+        if let Some(corners) = m.strip_prefix("rect") {
+            if saw_placement {
+                return Err(err("duplicate placement modifier"));
+            }
+            saw_placement = true;
+            let (min, max) = corners
+                .split_once('-')
+                .ok_or_else(|| err("bad placement rect"))?;
+            let min = point(min, "bad placement rect")?;
+            let max = point(max, "bad placement rect")?;
+            if !(min.x < max.x && min.y < max.y) {
+                return Err(err("bad placement rect"));
+            }
+            group.placement = GroupPlacement::Rect { min, max };
+            continue;
+        }
+        if let Some(points) = m.strip_prefix("at") {
+            if saw_placement {
+                return Err(err("duplicate placement modifier"));
+            }
+            saw_placement = true;
+            let pts = points
+                .split('-')
+                .map(|p| point(p, "bad placement point"))
+                .collect::<Result<Vec<_>, _>>()?;
+            if pts.len() != group.n {
+                return Err(err("placement point count differs from group size"));
+            }
+            group.placement = GroupPlacement::Explicit(pts);
             continue;
         }
         if saw_mobility {
@@ -876,6 +946,25 @@ fn format_group_modifiers(out: &mut String, g: &NodeGroup) {
             }
         }
         MobilityModel::Stationary => out.push_str(":still"),
+    }
+    if g.speed_range != (0.0, 2.0) {
+        let (lo, hi) = g.speed_range;
+        write!(out, ":speed{lo}-{hi}").expect("string write");
+    }
+    match &g.placement {
+        GroupPlacement::Uniform => {}
+        GroupPlacement::Rect { min, max } => {
+            write!(out, ":rect{}x{}-{}x{}", min.x, min.y, max.x, max.y).expect("string write");
+        }
+        GroupPlacement::Explicit(pts) => {
+            out.push_str(":at");
+            for (i, p) in pts.iter().enumerate() {
+                if i > 0 {
+                    out.push('-');
+                }
+                write!(out, "{}x{}", p.x, p.y).expect("string write");
+            }
+        }
     }
     if let Some(dbm) = g.tx_power_dbm {
         write!(out, ":{dbm}dbm").expect("string write");
@@ -1080,6 +1169,40 @@ mod tests {
     }
 
     #[test]
+    fn grammar_parses_placement_and_speed() {
+        let d = DenseScenario::parse_spec(
+            "200@200+10:still:rect10x20-100x200:5dbm+2:at1x2-3.5x4:speed0.5-1.5",
+        )
+        .expect("valid");
+        assert_eq!(d.n_nodes, 212);
+        assert_eq!(d.groups.len(), 3);
+        assert_eq!(
+            d.groups[1],
+            NodeGroup::new(10)
+                .mobility(MobilityModel::Stationary)
+                .placement(GroupPlacement::Rect {
+                    min: Vec2::new(10.0, 20.0),
+                    max: Vec2::new(100.0, 200.0),
+                })
+                .tx_power_dbm(5.0)
+        );
+        assert_eq!(
+            d.groups[2],
+            NodeGroup::new(2)
+                .speed_range(0.5, 1.5)
+                .placement(GroupPlacement::Explicit(vec![
+                    Vec2::new(1.0, 2.0),
+                    Vec2::new(3.5, 4.0),
+                ]))
+        );
+        // modifier order in the text is free; the canonical form is fixed
+        assert_eq!(
+            d.spec_string(),
+            "200@200+10:still:rect10x20-100x200:5dbm+2:speed0.5-1.5:at1x2-3.5x4"
+        );
+    }
+
+    #[test]
     fn grammar_round_trips() {
         for text in [
             "2000@200",
@@ -1087,6 +1210,10 @@ mod tests {
             "500@200+50:still:10dbm",
             "500@300@6:walk5+50:rwp+20:rwp1.5:0.5dbm",
             "100@100:still",
+            "500@200+50:speed0-3.5",
+            "400@200@2+10:still:rect10x20-100x120:8dbm",
+            "100@100+3:at1x2-3x4-5x6",
+            "60@150:speed0.25-1:rect0x0-50x50",
         ] {
             let d = DenseScenario::parse_spec(text).expect("valid");
             assert_eq!(d.spec_string(), text, "canonical form");
@@ -1127,6 +1254,22 @@ mod tests {
             ("500@200+50:xdbm", "bad power"),
             ("500@200+50:still:walk", "duplicate mobility modifier"),
             ("500@200+50:1dbm:2dbm", "duplicate power modifier"),
+            ("500@200+50:speed2", "bad speed range"),
+            ("500@200+50:speed3-1", "bad speed range"),
+            ("500@200+50:speedx-1", "bad speed range"),
+            ("500@200+50:speed1-2:speed1-2", "duplicate speed modifier"),
+            ("500@200+50:rect10x20", "bad placement rect"),
+            ("500@200+50:rect10x20-5x30", "bad placement rect"),
+            ("500@200+50:rect10,20,30,40", "bad placement rect"),
+            ("500@200+2:at1x2-3xq", "bad placement point"),
+            (
+                "500@200+2:at1x2",
+                "placement point count differs from group size",
+            ),
+            (
+                "500@200+50:rect0x0-9x9:at1x2",
+                "duplicate placement modifier",
+            ),
         ] {
             let e = DenseScenario::parse_spec(text).expect_err(text);
             assert_eq!(e.detail, detail, "for {text}");

@@ -11,12 +11,14 @@
 
 use aedb::scenario::Scenario;
 use aedb_mls::mls::{CriteriaChoice, Mls, MlsConfig};
+use island::{IslandConfig, IslandOptimizer};
 use moea::cellde::{CellDe, CellDeConfig};
 use moea::nsga2::{Nsga2, Nsga2Config};
 use mopt::algorithm::MoAlgorithm;
 use mopt::solution::Candidate;
 
-/// The three compared algorithms, in the paper's table order.
+/// The algorithms a campaign can run: the paper's three compared
+/// optimisers plus the asynchronous island extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
     /// CellDE (Durillo et al. 2008).
@@ -25,10 +27,18 @@ pub enum AlgorithmKind {
     Nsga2,
     /// AEDB-MLS — the paper's contribution.
     Mls,
+    /// The asynchronous island optimizer (`crates/island`) — not part of
+    /// the paper's comparison ([`ALL`](Self::ALL)), but campaigns running
+    /// it stream a live anytime front
+    /// ([`JobEvent::AnytimeFront`](crate::job::JobEvent::AnytimeFront)).
+    Island,
 }
 
 impl AlgorithmKind {
-    /// All three, in Table IV's row/column order.
+    /// The paper's three compared algorithms, in Table IV's row/column
+    /// order. [`Island`](Self::Island) is deliberately excluded — the
+    /// experiment tables reproduce the paper's comparison; island rows are
+    /// reported separately.
     pub const ALL: [AlgorithmKind; 3] = [
         AlgorithmKind::CellDe,
         AlgorithmKind::Nsga2,
@@ -41,12 +51,16 @@ impl AlgorithmKind {
             AlgorithmKind::CellDe => "CellDE",
             AlgorithmKind::Nsga2 => "NSGAII",
             AlgorithmKind::Mls => "AEDB-MLS",
+            AlgorithmKind::Island => "Island",
         }
     }
 
     /// Inverse of [`name`](Self::name) (used by the archive decoder).
     pub fn from_name(name: &str) -> Option<Self> {
-        AlgorithmKind::ALL.into_iter().find(|k| k.name() == name)
+        AlgorithmKind::ALL
+            .into_iter()
+            .chain([AlgorithmKind::Island])
+            .find(|k| k.name() == name)
     }
 }
 
@@ -83,7 +97,10 @@ impl CampaignBudget {
 /// * MOEAs receive `budget.evals` evaluations (paper: 10 000),
 /// * AEDB-MLS receives [`CampaignBudget::mls_evals`] = 2.4× that (paper:
 ///   24 000), split over the paper's 8 × 12 thread topology at paper
-///   scale and a 2 × 2 topology otherwise.
+///   scale and a 2 × 2 topology otherwise,
+/// * the island optimizer receives `budget.evals` like the MOEAs (the
+///   equal-budget comparison the bench rows record): 8 islands at paper
+///   scale, 2 quick islands otherwise.
 pub fn algorithm_for(budget: &CampaignBudget, kind: AlgorithmKind) -> Box<dyn MoAlgorithm> {
     match kind {
         AlgorithmKind::Nsga2 => {
@@ -105,6 +122,18 @@ pub fn algorithm_for(budget: &CampaignBudget, kind: AlgorithmKind) -> Box<dyn Mo
                 max_evaluations: budget.evals,
                 ..CellDeConfig::default()
             }))
+        }
+        AlgorithmKind::Island => {
+            let cfg = if budget.paper {
+                IslandConfig {
+                    islands: 8,
+                    max_evaluations: budget.evals,
+                    ..IslandConfig::default()
+                }
+            } else {
+                IslandConfig::quick(2, budget.evals)
+            };
+            Box::new(IslandOptimizer::new(cfg))
         }
         AlgorithmKind::Mls => {
             let cfg = if budget.paper {
@@ -412,7 +441,22 @@ mod tests {
         for kind in AlgorithmKind::ALL {
             assert_eq!(AlgorithmKind::from_name(kind.name()), Some(kind));
         }
+        // Island sits outside ALL (not part of the paper's comparison)
+        // but must still round-trip through the archive codec.
+        assert_eq!(
+            AlgorithmKind::from_name(AlgorithmKind::Island.name()),
+            Some(AlgorithmKind::Island)
+        );
         assert_eq!(AlgorithmKind::from_name("SPEA2"), None);
+    }
+
+    #[test]
+    fn island_budget_matches_moeas_exactly() {
+        use mopt::problem::test_problems::Zdt1;
+        let budget = CampaignBudget::quick(120, 1);
+        let alg = algorithm_for(&budget, AlgorithmKind::Island);
+        let r = alg.run(&Zdt1::new(5), 3);
+        assert_eq!(r.evaluations, budget.evals, "equal-budget comparison");
     }
 
     #[test]

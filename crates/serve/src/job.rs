@@ -189,6 +189,24 @@ pub enum JobEvent {
         /// Objective vectors of the current front snapshot.
         front: Vec<Vec<f64>>,
     },
+    /// An [`Island`](crate::campaign::AlgorithmKind::Island) campaign
+    /// repetition finished an epoch; `front` holds the objective vectors
+    /// of the **global anytime archive** — the best-so-far front, whose
+    /// hypervolume is non-decreasing over epochs (the island crate's
+    /// deterministic-merge contract). Island campaigns emit this instead
+    /// of [`Generation`](Self::Generation); replays emit neither.
+    AnytimeFront {
+        /// The job.
+        job: JobId,
+        /// Repetition index within the campaign.
+        rep: usize,
+        /// Epoch index (0 = merged initial island populations).
+        epoch: u64,
+        /// Evaluations consumed so far in this repetition.
+        evaluations: u64,
+        /// Objective vectors of the anytime front.
+        front: Vec<Vec<f64>>,
+    },
     /// Coarse progress: `completed` of `total` work rows done (campaign
     /// repetitions, or seeds of a simulate job).
     Progress {
@@ -225,6 +243,7 @@ impl JobEvent {
             JobEvent::Accepted { job }
             | JobEvent::Started { job }
             | JobEvent::Generation { job, .. }
+            | JobEvent::AnytimeFront { job, .. }
             | JobEvent::Progress { job, .. }
             | JobEvent::Finished { job, .. }
             | JobEvent::Failed { job, .. } => *job,

@@ -16,6 +16,15 @@
 //! [`RunObserver`] hooks — at MOEA generation boundaries, so a cancelled
 //! campaign stops within one generation without poisoning the service.
 //!
+//! Campaigns running the island optimizer
+//! ([`AlgorithmKind::Island`](crate::campaign::AlgorithmKind::Island))
+//! stream [`JobEvent::AnytimeFront`] epochs instead of `Generation`
+//! snapshots: each carries the global anytime archive — the best-so-far
+//! front, hypervolume non-decreasing over epochs — so a client that
+//! cancels mid-campaign has already received the best front the budget
+//! bought (the terminal event is still `Failed(Cancelled)` and nothing
+//! partial is archived).
+//!
 //! ## Determinism and the campaign archive
 //!
 //! A campaign is a pure function of its [`CampaignSpec`] (seeds are
@@ -35,7 +44,9 @@
 //! service (the two backends behave identically otherwise, pinned by the
 //! service test-suite).
 
-use crate::campaign::{algorithm_for, rep_seed, CampaignResult, CampaignSpec, RepRun};
+use crate::campaign::{
+    algorithm_for, rep_seed, AlgorithmKind, CampaignResult, CampaignSpec, RepRun,
+};
 use crate::job::{
     JobError, JobEvent, JobId, JobOutput, JobSpec, Priority, ProtocolSpec, SimSummary, SimulateSpec,
 };
@@ -482,17 +493,33 @@ fn summarize(seed: u64, report: &SimReport) -> SimSummary {
     }
 }
 
-/// Streams MOEA generation snapshots of one repetition into the job's
-/// event channel and forwards the job's cancellation flag into the run.
+/// Streams per-generation (or, for island campaigns, per-epoch anytime)
+/// front snapshots of one repetition into the job's event channel and
+/// forwards the job's cancellation flag into the run.
 struct StreamObserver<'a> {
     job: JobId,
     rep: usize,
+    /// Island campaigns report the global anytime archive — already
+    /// mutually non-dominated — as [`JobEvent::AnytimeFront`] epochs;
+    /// every other algorithm reports its raw pool, filtered here, as
+    /// [`JobEvent::Generation`] snapshots.
+    anytime: bool,
     ctl: &'a JobCtl,
     events: &'a EventSender,
 }
 
 impl RunObserver for StreamObserver<'_> {
     fn on_generation(&self, generation: u64, evaluations: u64, pool: &[Candidate]) {
+        if self.anytime {
+            self.events.send(JobEvent::AnytimeFront {
+                job: self.job,
+                rep: self.rep,
+                epoch: generation,
+                evaluations,
+                front: pool.iter().map(|c| c.objectives.clone()).collect(),
+            });
+            return;
+        }
         let front: Vec<Vec<f64>> = non_dominated(pool)
             .iter()
             .map(|c| c.objectives.clone())
@@ -551,6 +578,7 @@ fn run_campaign(
         let observer = StreamObserver {
             job,
             rep,
+            anytime: spec.algorithm == AlgorithmKind::Island,
             ctl,
             events,
         };

@@ -23,6 +23,10 @@
 //!   point,
 //! * [`moea`] — the NSGA-II, MOCell and CellDE baselines, feeding whole
 //!   generations to the problem at once,
+//! * [`island`] — the asynchronous island-model optimizer: steady-state
+//!   islands with bounded elite archives, ring migration and a
+//!   deterministic epoch-merged anytime archive whose front improves
+//!   monotonically and can be streamed mid-run,
 //! * [`mls`] — AEDB-MLS, the paper's parallel multi-objective local search,
 //! * [`fast99`] — the FAST99 global sensitivity analysis,
 //! * [`serve`] — the resident simulation service: submit simulate or
@@ -99,6 +103,7 @@
 pub use aedb;
 pub use aedb_mls as mls;
 pub use fast99;
+pub use island;
 pub use manet;
 pub use moea;
 pub use mopt;
@@ -117,6 +122,7 @@ pub mod prelude {
         AcceptanceRule, ArchiveKind, CriteriaChoice, Mls, MlsConfig, MlsResult,
     };
     pub use fast99::{Fast99, Indices};
+    pub use island::{AnytimeArchive, IslandConfig, IslandOptimizer};
     pub use manet::grid::SpatialGrid;
     pub use manet::protocol::{Flooding, Protocol, ProtocolApi, SourceOnly};
     pub use manet::sim::{DeliveryMode, SimConfig, SimReport, Simulator};

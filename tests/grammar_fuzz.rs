@@ -1,0 +1,144 @@
+//! Property-based fuzzing of the scenario text grammar
+//! (`manet::world::DenseScenario::parse_spec` / `spec_string`): every
+//! syntactically valid spec parses and its canonical form is a parse
+//! fixed point; arbitrary byte soup and mutated specs error without ever
+//! panicking.
+
+use aedb_repro::prelude::*;
+use proptest::prelude::*;
+
+/// One grammar modifier drawn from the full surface, canonical-order
+/// slot by slot (the parser itself accepts any order — pinned by the
+/// `manet::world` unit tests). Floats go through `Display`, which is
+/// shortest-round-trip, so `parse(format(v)) == v` exactly.
+fn mobility_mod() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just(":still".to_string()),
+        (0.5f64..50.0).prop_map(|i| format!(":walk{i}")),
+        (0.0f64..10.0).prop_map(|p| format!(":rwp{p}")),
+    ]
+}
+
+fn speed_mod() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        (0.0f64..5.0, 0.0f64..5.0).prop_map(|(a, b)| {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            format!(":speed{lo}-{hi}")
+        }),
+    ]
+}
+
+fn placement_mod(n: usize) -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        (
+            0.0f64..200.0,
+            0.0f64..200.0,
+            0.001f64..300.0,
+            0.001f64..300.0
+        )
+            .prop_map(|(x0, y0, dx, dy)| format!(":rect{x0}x{y0}-{}x{}", x0 + dx, y0 + dy)),
+        prop::collection::vec((0.0f64..500.0, 0.0f64..500.0), n).prop_map(|pts| {
+            let body: Vec<String> = pts.into_iter().map(|(x, y)| format!("{x}x{y}")).collect();
+            format!(":at{}", body.join("-"))
+        }),
+    ]
+}
+
+fn power_mod() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        (-10.0f64..30.0).prop_map(|p| format!(":{p}dbm")),
+    ]
+}
+
+/// `n` followed by its modifier suffixes — a head tail or a `+` group.
+fn group_str() -> impl Strategy<Value = String> {
+    (1usize..4).prop_flat_map(|n| {
+        (
+            Just(n),
+            mobility_mod(),
+            speed_mod(),
+            placement_mod(n),
+            power_mod(),
+        )
+            .prop_map(|(n, mob, spd, plc, pwr)| format!("{n}{mob}{spd}{plc}{pwr}"))
+    })
+}
+
+/// A whole syntactically valid spec: `n@density[@sigma]` head (with its
+/// own modifiers) plus up to three `+` groups.
+fn valid_spec() -> impl Strategy<Value = String> {
+    (
+        group_str(),
+        1u32..1000,
+        prop::option::of(0.1f64..10.0),
+        prop::collection::vec(group_str(), 0..3),
+    )
+        .prop_map(|(head, per_km2, sigma, groups)| {
+            // The head's count is its leading digits; splice the density
+            // (and optional sigma) in between count and modifiers.
+            let digits = head.chars().take_while(char::is_ascii_digit).count();
+            let mut out = format!("{}@{per_km2}", &head[..digits]);
+            if let Some(s) = sigma {
+                out.push_str(&format!("@{s}"));
+            }
+            out.push_str(&head[digits..]);
+            for g in groups {
+                out.push('+');
+                out.push_str(&g);
+            }
+            out
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn valid_specs_parse_and_canonical_form_is_a_fixed_point(spec in valid_spec()) {
+        let d = DenseScenario::parse_spec(&spec)
+            .unwrap_or_else(|e| panic!("generated spec must parse: {e}"));
+        let canonical = d.spec_string();
+        let reparsed = DenseScenario::parse_spec(&canonical)
+            .unwrap_or_else(|e| panic!("canonical form must parse: {e}"));
+        // parse(spec_string(d)) == d, and spec_string is a fixed point.
+        prop_assert_eq!(&reparsed, &d);
+        prop_assert_eq!(reparsed.spec_string(), canonical);
+        prop_assert!(d.n_nodes > 0 && d.per_km2 > 0);
+        // Each parsed scenario compiles to a structurally valid world as
+        // long as its placements fit the density-scaled field; either
+        // outcome is fine, panicking is not.
+        let _ = d.world_spec(0).validate();
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics(
+        codes in prop::collection::vec(0u32..0xD800, 0usize..80),
+    ) {
+        let s: String = codes.into_iter().filter_map(char::from_u32).collect();
+        let _ = DenseScenario::parse_spec(&s);
+    }
+
+    #[test]
+    fn mutated_specs_never_panic(
+        spec in valid_spec(),
+        pos in 0usize..10_000,
+        ch in prop_oneof![
+            Just('+'), Just(':'), Just('@'), Just('x'), Just('-'), Just('.'),
+            (0u32..128).prop_map(|c| char::from_u32(c).expect("ascii")),
+        ],
+    ) {
+        // Splice a random character into a valid spec: still no panics,
+        // and whatever parses round-trips.
+        let mut s = spec;
+        let at = pos % (s.len() + 1);
+        let at = (0..=at).rev().find(|&i| s.is_char_boundary(i)).unwrap_or(0);
+        s.insert(at, ch);
+        if let Ok(d) = DenseScenario::parse_spec(&s) {
+            prop_assert_eq!(DenseScenario::parse_spec(&d.spec_string()).unwrap(), d);
+        }
+    }
+}

@@ -824,4 +824,57 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn archive_capacity_never_exceeded_mid_stream(
+        points in prop::collection::vec(objective_vec(3), 1..120),
+        cap in 1usize..8,
+    ) {
+        // The bound must hold after EVERY insert, not just at the end —
+        // eviction runs inside try_insert, never lazily.
+        let mut archive = AgaArchive::new(cap, 3);
+        for p in &points {
+            archive.try_insert(Candidate::evaluated(vec![], p.clone(), 0.0));
+            prop_assert!(archive.len() <= cap);
+            prop_assert!(!archive.is_empty());
+        }
+    }
+
+    #[test]
+    fn hypervolume_of_a_single_point_is_its_box(
+        p2 in objective_vec(2),
+        p3 in objective_vec(3),
+        margin in 0.5f64..20.0,
+    ) {
+        // One point a fixed margin inside the reference dominates exactly
+        // a hypercube of side `margin`.
+        let r2: Vec<f64> = p2.iter().map(|v| v + margin).collect();
+        let hv2 = hypervolume(std::slice::from_ref(&p2), &r2);
+        prop_assert!((hv2 - margin.powi(2)).abs() < 1e-9 * margin.powi(2));
+        let r3: Vec<f64> = p3.iter().map(|v| v + margin).collect();
+        let hv3 = hypervolume(std::slice::from_ref(&p3), &r3);
+        prop_assert!((hv3 - margin.powi(3)).abs() < 1e-9 * margin.powi(3));
+    }
+
+    #[test]
+    fn hypervolume_degenerate_fronts_are_safe(
+        front in prop::collection::vec(objective_vec(3), 1..12),
+    ) {
+        // objective_vec draws from [-100, 100), so 200-per-axis is a
+        // reference every point is strictly inside.
+        let reference = vec![200.0; 3];
+        let hv = hypervolume(&front, &reference);
+        prop_assert!(hv.is_finite() && hv >= 0.0);
+        // duplicating every point changes nothing
+        let mut doubled = front.clone();
+        doubled.extend(front.iter().cloned());
+        prop_assert!((hypervolume(&doubled, &reference) - hv).abs() <= 1e-9 * hv.max(1.0));
+        // a point on the reference boundary contributes nothing
+        let mut with_boundary = front.clone();
+        with_boundary.push(reference.clone());
+        prop_assert!((hypervolume(&with_boundary, &reference) - hv).abs() <= 1e-9 * hv.max(1.0));
+        // the empty front has zero hypervolume
+        let empty: Vec<Vec<f64>> = Vec::new();
+        prop_assert_eq!(hypervolume(&empty, &reference), 0.0);
+    }
 }

@@ -9,8 +9,8 @@ use rand::{Rng, SeedableRng};
 /// Commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
-        Strategy,
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -40,7 +40,109 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f` (the real crate's `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value (the real
+    /// crate's `prop_flat_map`).
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
 }
+
+/// A strategy that always yields a clone of one value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut SmallRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Uniform choice between strategies of one value type — what
+/// [`prop_oneof!`] builds.
+pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        let i = rng.gen_range(0..self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+#[doc(hidden)]
+pub fn __one_of_box<T, S: Strategy<Value = T> + 'static>(s: S) -> Box<dyn Strategy<Value = T>> {
+    Box::new(s)
+}
+
+/// Uniform choice between the listed strategies (unweighted subset of the
+/// real crate's macro).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::__one_of_box($s)),+])
+    };
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 impl Strategy for std::ops::Range<f64> {
     type Value = f64;
@@ -79,8 +181,32 @@ impl IntoSize for std::ops::Range<usize> {
     }
 }
 
-/// Strategy namespace (`prop::collection::vec`, …).
+/// Strategy namespace (`prop::collection::vec`, `prop::option::of`, …).
 pub mod prop {
+    /// Optional-value strategies.
+    pub mod option {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy for `Option`s of `inner`-generated values.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// Generates `None` half the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut SmallRng) -> Option<S::Value> {
+                rng.gen_bool(0.5).then(|| self.inner.sample(rng))
+            }
+        }
+    }
+
     /// Collection strategies.
     pub mod collection {
         use super::super::{IntoSize, Strategy};
